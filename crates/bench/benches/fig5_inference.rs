@@ -1,0 +1,45 @@
+//! Criterion benches for Figure 5(b): average inference time of the three
+//! ablation settings (two-class / vector-only / vector + images) on an M3
+//! split, mirroring the paper's bar chart.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepsplit_bench::{implement_benchmark, Profile};
+use deepsplit_core::config::AttackConfig;
+use deepsplit_core::dataset::PreparedDesign;
+use deepsplit_core::{attack, train};
+use deepsplit_layout::geom::Layer;
+use deepsplit_netlist::benchmarks::Benchmark;
+
+fn bench_fig5_inference(c: &mut Criterion) {
+    let profile = Profile::fast();
+    let layer = Layer(3);
+    let victim_design = implement_benchmark(&profile, Benchmark::C432, 77);
+    let train_design = implement_benchmark(&profile, Benchmark::C880, 78);
+
+    let settings: [(&str, bool, bool); 3] = [
+        ("two_class", false, true),
+        ("vec", false, false),
+        ("vec_img", true, false),
+    ];
+
+    let mut group = c.benchmark_group("fig5_inference");
+    group.sample_size(10);
+    for (name, use_images, two_class) in settings {
+        let config = AttackConfig {
+            use_images,
+            two_class,
+            epochs: 2,
+            ..profile.attack.clone()
+        };
+        let train_data = vec![PreparedDesign::prepare(&train_design, layer, &config)];
+        let (trained, _) = train::train(&train_data, &config);
+        let victim = PreparedDesign::prepare(&victim_design, layer, &config);
+        group.bench_with_input(BenchmarkId::new("inference", name), &victim, |b, victim| {
+            b.iter(|| attack::attack(&trained, victim))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_inference);
+criterion_main!(benches);

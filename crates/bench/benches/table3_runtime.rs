@@ -1,0 +1,70 @@
+//! Criterion benches for the runtime columns of the paper's Table 3: the DL
+//! attack (feature extraction + inference) versus the network-flow attack on
+//! representative designs at both split layers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepsplit_bench::{implement_benchmark, train_for_layer, Profile};
+use deepsplit_core::dataset::PreparedDesign;
+use deepsplit_core::{attack, train::TrainedAttack};
+use deepsplit_flow::attack::{network_flow_attack, FlowAttackConfig};
+use deepsplit_layout::design::Design;
+use deepsplit_layout::geom::Layer;
+use deepsplit_netlist::benchmarks::Benchmark;
+
+/// Small training run shared by all benches (2 epochs, capped queries).
+fn quick_trained(profile: &Profile, layer: Layer) -> TrainedAttack {
+    let mut p = profile.clone();
+    p.attack.epochs = 2;
+    p.train_query_cap = 60;
+    train_for_layer(&p, layer)
+}
+
+fn bench_table3_runtime(c: &mut Criterion) {
+    let profile = Profile::fast();
+    let designs: Vec<(Benchmark, Design)> = [Benchmark::C432, Benchmark::C880]
+        .into_iter()
+        .map(|b| (b, implement_benchmark(&profile, b, 42)))
+        .collect();
+
+    for layer in [Layer(1), Layer(3)] {
+        let trained = quick_trained(&profile, layer);
+        let mut group = c.benchmark_group(format!("table3_runtime_m{}", layer.0));
+        group.sample_size(10);
+        for (bench, design) in &designs {
+            group.bench_with_input(
+                BenchmarkId::new("ours_total", bench.name()),
+                design,
+                |b, design| {
+                    b.iter(|| {
+                        let prepared = PreparedDesign::prepare(design, layer, &profile.attack);
+                        attack::attack(&trained, &prepared)
+                    })
+                },
+            );
+            let prepared = PreparedDesign::prepare(design, layer, &profile.attack);
+            group.bench_with_input(
+                BenchmarkId::new("ours_inference_only", bench.name()),
+                &prepared,
+                |b, prepared| b.iter(|| attack::attack(&trained, prepared)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("network_flow", bench.name()),
+                &(design, &prepared),
+                |b, (design, prepared)| {
+                    b.iter(|| {
+                        network_flow_attack(
+                            &prepared.view,
+                            &design.netlist,
+                            &design.library,
+                            &FlowAttackConfig::default(),
+                        )
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table3_runtime);
+criterion_main!(benches);

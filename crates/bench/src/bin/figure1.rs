@@ -1,0 +1,69 @@
+//! Regenerates the semantics of the paper's **Figure 1**: the fragment
+//! taxonomy of a split layout — source fragments, sink fragments, FEOL
+//! through-fragments, and their virtual pins — printed as a census plus one
+//! concrete multi-fragment net drawn out in text.
+
+use deepsplit_bench::{implement_benchmark, Profile};
+use deepsplit_layout::geom::{to_um, Layer};
+use deepsplit_layout::split::{split_design, FragKind};
+use deepsplit_netlist::benchmarks::Benchmark;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = Profile::from_args(&args);
+    let design = implement_benchmark(&profile, Benchmark::C880, 7);
+
+    for layer in [1u8, 3] {
+        let view = split_design(&design, Layer(layer));
+        let mut census: HashMap<FragKind, usize> = HashMap::new();
+        let mut vp_total = 0usize;
+        for frag in &view.fragments {
+            *census.entry(frag.kind).or_default() += 1;
+            vp_total += frag.virtual_pins.len();
+        }
+        println!("Figure 1 census — c880 split after M{layer}:");
+        for kind in [FragKind::Source, FragKind::Sink, FragKind::Through, FragKind::Complete] {
+            println!("  {:?} fragments: {}", kind, census.get(&kind).copied().unwrap_or(0));
+        }
+        println!("  virtual pins in M{layer}: {vp_total}");
+        println!(
+            "  broken sink pins (CCR denominator): {}",
+            view.total_broken_sinks()
+        );
+        println!();
+    }
+
+    // Draw one net that splits into several fragments, as in Fig. 1.
+    let view = split_design(&design, Layer(3));
+    let mut per_net: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, frag) in view.fragments.iter().enumerate() {
+        if frag.kind != FragKind::Complete {
+            per_net.entry(frag.net.0).or_default().push(i);
+        }
+    }
+    if let Some((net, frags)) = per_net
+        .iter()
+        .filter(|(_, f)| f.len() >= 3)
+        .max_by_key(|(_, f)| f.len())
+    {
+        println!("example net {} splits into {} fragments @ M3:", net, frags.len());
+        for &fi in frags {
+            let frag = &view.fragments[fi];
+            let bbox = frag.bbox();
+            println!(
+                "  fragment {fi}: {:?}, {} segment(s), {} via(s), {} pin(s), {} virtual pin(s), bbox {:.1}x{:.1} um",
+                frag.kind,
+                frag.segments.len(),
+                frag.vias.len(),
+                frag.pins.len(),
+                frag.virtual_pins.len(),
+                to_um(bbox.width()),
+                to_um(bbox.height()),
+            );
+            for vp in &frag.virtual_pins {
+                println!("      virtual pin @ ({:.2}, {:.2}) um", to_um(vp.x), to_um(vp.y));
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Regenerates the paper's **Figure 2**: the three image scales (a) and the
+//! layer-bit encoding (b) for one concrete virtual pin, rendered as ASCII.
+
+use deepsplit_core::config::AttackConfig;
+use deepsplit_core::image_features::ImageExtractor;
+use deepsplit_layout::design::{Design, ImplementConfig};
+use deepsplit_layout::geom::Layer;
+use deepsplit_layout::split::split_design;
+use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
+use deepsplit_netlist::library::CellLibrary;
+
+fn main() {
+    let lib = CellLibrary::nangate45();
+    let nl = generate_with(Benchmark::C432, 1.0, 7, &lib);
+    let design = Design::implement(nl, lib, &ImplementConfig::default());
+    let view = split_design(&design, Layer(3));
+
+    let config = AttackConfig {
+        image_px: 33,
+        image_scales_um: vec![0.05, 0.1, 0.2],
+        ..AttackConfig::paper()
+    };
+    let extractor = ImageExtractor::new(&view, &config);
+
+    // Pick the sink fragment with the most of its own split-layer wiring so
+    // the picture is interesting.
+    let sink = *view
+        .sinks
+        .iter()
+        .max_by_key(|&&s| view.fragment(s).segments.len())
+        .expect("some sink fragment");
+    let vp = view.fragment(sink).virtual_pins[0];
+    let img = extractor.render(sink, vp);
+    let m = view.split_layer.0 as usize;
+    let px = config.image_px;
+
+    println!(
+        "Figure 2: image features of sink fragment {} @ VP ({:.2}, {:.2}) um",
+        sink.0,
+        vp.x as f64 / 1000.0,
+        vp.y as f64 / 1000.0
+    );
+    for (si, scale) in config.image_scales_um.iter().enumerate() {
+        println!("\n--- scale {si}: {scale} um/pixel (window {:.2} um) ---", scale * px as f64);
+        // Collapse the 2m planes of this scale into one glyph per pixel:
+        // '#' own wiring, '+' other wiring, '.' empty (higher layers win).
+        for y in (0..px).rev() {
+            let mut line = String::with_capacity(px);
+            for x in 0..px {
+                let mut glyph = '.';
+                for l in 0..m {
+                    let other = img.data()[(((si * 2 * m) + l) * px + y) * px + x];
+                    let own = img.data()[(((si * 2 * m) + m + l) * px + y) * px + x];
+                    if own > 0.0 {
+                        glyph = '#';
+                    } else if other > 0.0 && glyph == '.' {
+                        glyph = '+';
+                    }
+                }
+                line.push(glyph);
+            }
+            println!("{line}");
+        }
+    }
+
+    // Fig. 2(b): bit encoding of the centre pixel.
+    println!("\nFigure 2(b): layer bits of the centre pixel (scale 0)");
+    println!("bit order (MSB..LSB): own M{m}..own M1 | other M{m}..other M1");
+    let mut bits = String::new();
+    for l in (0..m).rev() {
+        let own = img.data()[((m + l) * px + px / 2) * px + px / 2];
+        bits.push(if own > 0.0 { '1' } else { '0' });
+    }
+    for l in (0..m).rev() {
+        let other = img.data()[((l) * px + px / 2) * px + px / 2];
+        bits.push(if other > 0.0 { '1' } else { '0' });
+    }
+    println!("centre pixel = '{bits}'");
+}

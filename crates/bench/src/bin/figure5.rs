@@ -1,0 +1,55 @@
+//! Regenerates the paper's **Figure 5**: the loss/feature ablation at M3 —
+//! average CCR (a) and average inference time (b) for three settings:
+//! two-class loss (vector features), softmax regression (vector features),
+//! and softmax regression with vector + image features.
+//!
+//! Usage:
+//! ```text
+//! figure5 [--fast|--medium|--paper-scale] [--designs c432,...] [--json out.json]
+//! ```
+
+use deepsplit_bench::{design_filter, run_figure5, Profile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = Profile::from_args(&args);
+    let designs = design_filter(&args);
+
+    eprintln!(
+        "running Figure 5 ablation under profile `{}` (3 models, M3 split)…",
+        profile.name
+    );
+    let report = run_figure5(&profile, designs);
+
+    println!("\nFigure 5: loss and feature ablation (M3 split, profile `{}`)", report.profile);
+    println!("{:-<56}", "");
+    println!("{:<12} {:>14} {:>22}", "Setting", "avg CCR (%)", "avg inference (s)");
+    for p in &report.points {
+        println!("{:<12} {:>14.2} {:>22.3}", p.setting, p.avg_ccr, p.avg_inference_s);
+    }
+    println!("{:-<56}", "");
+    if let (Some(base), Some(vec), Some(img)) = (
+        report.points.first(),
+        report.points.get(1),
+        report.points.get(2),
+    ) {
+        if base.avg_ccr > 0.0 {
+            println!(
+                "softmax regression vs two-class: {:.3}x CCR (paper: 1.07x)",
+                vec.avg_ccr / base.avg_ccr
+            );
+            println!(
+                "adding image features:          {:.3}x CCR (paper: 1.09x total)",
+                img.avg_ccr / base.avg_ccr
+            );
+        }
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            let json = serde_json::to_string_pretty(&report).expect("serialise report");
+            std::fs::write(path, json).expect("write report");
+            eprintln!("report written to {path}");
+        }
+    }
+}

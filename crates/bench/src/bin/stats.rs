@@ -1,0 +1,42 @@
+//! Prints the benchmark-suite statistics (design sizes, split fragment
+//! counts) next to the paper's published `#Sk`/`#Sc` values — the sanity check
+//! that our statistical-twin generator and splitter land in the right regime.
+
+use deepsplit_bench::{implement_benchmark, Profile};
+use deepsplit_layout::geom::Layer;
+use deepsplit_layout::split::split_design;
+use deepsplit_netlist::benchmarks::Benchmark;
+use deepsplit_netlist::library::CellLibrary;
+use deepsplit_netlist::stats::NetlistStats;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = Profile::from_args(&args);
+    let lib = CellLibrary::nangate45();
+    println!(
+        "{:<8} {:>7} {:>5} {:>6} | {:>7} {:>7} {:>9} {:>9} | {:>7} {:>7} {:>9} {:>9}",
+        "design", "gates", "depth", "scale", "Sk(M1)", "Sc(M1)", "paperSk1", "paperSc1", "Sk(M3)", "Sc(M3)", "paperSk3", "paperSc3"
+    );
+    for (i, bench) in Benchmark::all().into_iter().enumerate() {
+        let design = implement_benchmark(&profile, bench, 2002 + i as u64);
+        let stats = NetlistStats::compute(&design.netlist, &lib);
+        let m1 = split_design(&design, Layer(1));
+        let m3 = split_design(&design, Layer(3));
+        let (psk1, psc1, psk3, psc3, ..) = bench.paper_reference();
+        println!(
+            "{:<8} {:>7} {:>5} {:>6.2} | {:>7} {:>7} {:>9} {:>9} | {:>7} {:>7} {:>9} {:>9}",
+            bench.name(),
+            stats.num_gates,
+            stats.logic_depth,
+            profile.scale_for(bench),
+            m1.num_sink_fragments(),
+            m1.num_source_fragments(),
+            psk1,
+            psc1,
+            m3.num_sink_fragments(),
+            m3.num_source_fragments(),
+            psk3,
+            psc3,
+        );
+    }
+}

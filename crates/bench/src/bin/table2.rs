@@ -1,0 +1,36 @@
+//! Regenerates the paper's **Table 2** (neural-network configuration) from a
+//! constructed model, proving the realised architecture matches the paper.
+
+use deepsplit_core::config::AttackConfig;
+use deepsplit_core::model::{AttackModel, LossKind, ModelKind};
+use deepsplit_nn::layers::Params;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = if args.iter().any(|a| a == "--fast") {
+        AttackConfig::fast()
+    } else {
+        AttackConfig::paper()
+    };
+    // Paper setting: splitting on M3 → m = 3 → 2m bit planes × 3 scales.
+    let channels = config.image_channels(3);
+    let mut model = AttackModel::new(
+        ModelKind::VecImg,
+        LossKind::SoftmaxRegression,
+        channels,
+        1,
+    );
+
+    println!(
+        "Table 2: Neural Network Configuration (n = {}, images {px}x{px}, {channels} channels)",
+        config.candidates,
+        px = config.image_px,
+    );
+    println!("{:-<56}", "");
+    println!("{:<8} {:<8} Parameter / output", "Part", "Layer");
+    for (part, layer, shape) in model.describe(config.image_px) {
+        println!("{:<8} {:<8} {}", part, layer, shape);
+    }
+    println!("{:-<56}", "");
+    println!("total trainable parameters: {}", model.num_params());
+}

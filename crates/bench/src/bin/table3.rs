@@ -1,0 +1,119 @@
+//! Regenerates the paper's **Table 3**: per-design CCR and runtime of our DL
+//! attack versus the network-flow attack [1], splitting after M1 and M3.
+//!
+//! Usage:
+//! ```text
+//! table3 [--fast|--medium|--paper-scale] [--designs c432,b13,...] [--json out.json]
+//! ```
+//!
+//! `N/A` marks network-flow timeouts, exactly as in the paper; averages and
+//! ratio rows exclude timed-out designs "for fairness".
+
+use deepsplit_bench::{design_filter, run_table3, table3_averages, Profile, Table3Report};
+use deepsplit_netlist::benchmarks::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = Profile::from_args(&args);
+    let designs = design_filter(&args);
+
+    eprintln!(
+        "running Table 3 under profile `{}` (training 2 models, attacking {} designs)…",
+        profile.name,
+        designs.as_ref().map(|d| d.len()).unwrap_or(16)
+    );
+    let report = run_table3(&profile, designs.clone());
+    print_report(&report, designs.as_deref());
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            let json = serde_json::to_string_pretty(&report).expect("serialise report");
+            std::fs::write(path, json).expect("write report");
+            eprintln!("report written to {path}");
+        }
+    }
+}
+
+fn fmt_opt(v: Option<f64>, width: usize) -> String {
+    match v {
+        Some(x) => format!("{x:>width$.2}"),
+        None => format!("{:>width$}", "N/A"),
+    }
+}
+
+fn print_report(report: &Table3Report, filter: Option<&[Benchmark]>) {
+    println!("\nTable 3: Comparison with State-of-the-art Attack (profile `{}`)", report.profile);
+    println!("{:-<118}", "");
+    println!(
+        "{:<8} | {:>6} {:>6} {:>8} {:>8} {:>9} {:>9} | {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
+        "", "", "", "Metal 1", "", "", "", "", "", "Metal 3", "", "", ""
+    );
+    println!(
+        "{:<8} | {:>6} {:>6} {:>8} {:>8} {:>9} {:>9} | {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
+        "Design", "#Sk", "#Sc", "CCR[1]", "CCR-us", "RT[1] s", "RT-us s", "#Sk", "#Sc", "CCR[1]", "CCR-us", "RT[1] s", "RT-us s"
+    );
+    println!("{:-<118}", "");
+    for row in &report.rows {
+        println!(
+            "{:<8} | {:>6} {:>6} {} {:>8.2} {} {:>9.2} | {:>6} {:>6} {} {:>8.2} {} {:>9.2}",
+            row.design,
+            row.m1.sk,
+            row.m1.sc,
+            fmt_opt(row.m1.flow_ccr, 8),
+            row.m1.ours_ccr,
+            fmt_opt(row.m1.flow_runtime_s, 9),
+            row.m1.ours_runtime_s,
+            row.m3.sk,
+            row.m3.sc,
+            fmt_opt(row.m3.flow_ccr, 8),
+            row.m3.ours_ccr,
+            fmt_opt(row.m3.flow_runtime_s, 9),
+            row.m3.ours_runtime_s,
+        );
+    }
+    println!("{:-<118}", "");
+    let (f1, o1, fr1, or1) = table3_averages(report.rows.iter().map(|r| r.m1.clone()));
+    let (f3, o3, fr3, or3) = table3_averages(report.rows.iter().map(|r| r.m3.clone()));
+    println!(
+        "{:<8} | {:>13} {:>8.2} {:>8.2} {:>9.2} {:>9.2} | {:>13} {:>8.2} {:>8.2} {:>9.2} {:>9.2}",
+        "Average", "", f1, o1, fr1, or1, "", f3, o3, fr3, or3
+    );
+    println!(
+        "{:<8} | {:>13} {:>8.2} {:>8.2} {:>9.3} {:>9.3} | {:>13} {:>8.2} {:>8.2} {:>9.3} {:>9.3}",
+        "Ratio",
+        "",
+        1.0,
+        if f1 > 0.0 { o1 / f1 } else { f64::NAN },
+        1.0,
+        if fr1 > 0.0 { or1 / fr1 } else { f64::NAN },
+        "",
+        1.0,
+        if f3 > 0.0 { o3 / f3 } else { f64::NAN },
+        1.0,
+        if fr3 > 0.0 { or3 / fr3 } else { f64::NAN },
+    );
+
+    // Paper reference values for shape comparison.
+    println!("\nPaper reference (CCR %, for shape comparison — absolute values differ by construction):");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "Design", "M1 [1]", "M1 ours", "M3 [1]", "M3 ours"
+    );
+    for row in &report.rows {
+        let Some(bench) = Benchmark::from_name(&row.design) else { continue };
+        if let Some(f) = filter {
+            if !f.contains(&bench) {
+                continue;
+            }
+        }
+        let (_, _, _, _, f1, o1, f3, o3) = bench.paper_reference();
+        println!(
+            "{:<8} {:>10} {:>10.2} {:>10} {:>10.2}",
+            row.design,
+            f1.map(|x| format!("{x:.2}")).unwrap_or_else(|| "N/A".into()),
+            o1,
+            f3.map(|x| format!("{x:.2}")).unwrap_or_else(|| "N/A".into()),
+            o3,
+        );
+    }
+}

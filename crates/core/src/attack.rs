@@ -1,0 +1,181 @@
+//! Inference: attacking a split layout with a trained model.
+//!
+//! The image tower embeddings are computed once per unique virtual-pin image
+//! and reused across queries (source fragments appear in many candidate
+//! lists), then each sink fragment's candidates are scored and the argmax VPP
+//! is selected (paper Eq. 2).
+
+use crate::dataset::{stack_batch, ImageKey, PreparedDesign};
+use crate::model::ModelKind;
+use crate::train::TrainedAttack;
+use deepsplit_flow::metrics::Assignment;
+use deepsplit_layout::split::FragId;
+use deepsplit_nn::parallel::parallel_map;
+use deepsplit_nn::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Result of attacking one design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Chosen source fragment per sink fragment.
+    pub assignment: Assignment,
+    /// Wall-clock inference time (embedding + scoring).
+    pub inference: Duration,
+}
+
+/// Scores every sink fragment of `prepared` and picks the best candidate VPP.
+pub fn attack(trained: &TrainedAttack, prepared: &PreparedDesign) -> AttackOutcome {
+    let start = Instant::now();
+    let threads = trained.config.effective_threads();
+    let use_images = trained.model.kind == ModelKind::VecImg && prepared.channels > 0;
+
+    // Phase 1: embed all unique images (batched per worker).
+    let embeddings: HashMap<ImageKey, Tensor> = if use_images {
+        let keys: Vec<ImageKey> = prepared.images.keys().copied().collect();
+        let chunk = 8usize;
+        let batches: Vec<&[ImageKey]> = keys.chunks(chunk).collect();
+        let results = parallel_map(&batches, threads, |batch| {
+            let mut m = trained.model.clone();
+            let imgs: Vec<&Tensor> = batch.iter().map(|k| &prepared.images[k]).collect();
+            let stacked = stack_batch(&imgs);
+            let emb = m.embed_images(&stacked, false);
+            let (rows, d) = emb.dims2();
+            (0..rows)
+                .map(|r| Tensor::from_vec(&[1, d], emb.data()[r * d..(r + 1) * d].to_vec()))
+                .collect::<Vec<_>>()
+        });
+        keys.into_iter().zip(results.into_iter().flatten()).collect()
+    } else {
+        HashMap::new()
+    };
+
+    // Phase 2: score all queries.
+    let indices: Vec<usize> = (0..prepared.num_queries()).collect();
+    let shard = indices.len().div_ceil(threads).max(1);
+    let shards: Vec<&[usize]> = indices.chunks(shard).collect();
+    let picks = parallel_map(&shards, threads, |shard| {
+        let mut m = trained.model.clone();
+        let mut out: Vec<(FragId, FragId)> = Vec::with_capacity(shard.len());
+        for &qi in shard.iter() {
+            let set = &prepared.sets[qi];
+            if set.candidates.is_empty() {
+                continue;
+            }
+            let vectors = prepared.vectors(qi, &trained.normalizer);
+            let scores = if use_images {
+                let (sink_key, cand_keys) = &prepared.image_keys[qi];
+                let sink_emb = embeddings[sink_key].clone();
+                let src_rows: Vec<Tensor> = cand_keys.iter().map(|k| embeddings[k].clone()).collect();
+                let src_refs: Vec<&Tensor> = src_rows.iter().collect();
+                let src = stack_rows2(&src_refs);
+                m.score_from_embeddings(&vectors, Some((&src, &sink_emb)), false)
+            } else {
+                m.score_from_embeddings(&vectors, None, false)
+            };
+            let probs = m.candidate_scores(&scores);
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            out.push((set.sink, set.candidates[best].source));
+        }
+        out
+    });
+
+    let assignment: Assignment = picks.into_iter().flatten().collect();
+    AttackOutcome { assignment, inference: start.elapsed() }
+}
+
+/// Stacks `[1, d]` rows into `[n, d]`.
+fn stack_rows2(parts: &[&Tensor]) -> Tensor {
+    let d = parts[0].dims2().1;
+    let mut data = Vec::with_capacity(parts.len() * d);
+    for p in parts {
+        data.extend_from_slice(p.data());
+    }
+    Tensor::from_vec(&[parts.len(), d], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AttackConfig;
+    use crate::train::train;
+    use deepsplit_flow::metrics::ccr;
+    use deepsplit_layout::design::{Design, ImplementConfig};
+    use deepsplit_layout::geom::Layer;
+    use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
+    use deepsplit_netlist::library::CellLibrary;
+
+    fn prepared(bench: Benchmark, seed: u64, config: &AttackConfig) -> PreparedDesign {
+        let lib = CellLibrary::nangate45();
+        let nl = generate_with(bench, 0.4, seed, &lib);
+        let d = Design::implement(nl, lib, &ImplementConfig::default());
+        PreparedDesign::prepare(&d, Layer(3), config)
+    }
+
+    fn tiny(use_images: bool) -> AttackConfig {
+        AttackConfig {
+            use_images,
+            epochs: 6,
+            candidates: 8,
+            image_px: 9,
+            image_scales_um: vec![0.2, 0.6],
+            batch_size: 8,
+            threads: 2,
+            ..AttackConfig::fast()
+        }
+    }
+
+    #[test]
+    fn attack_assigns_every_sink_with_candidates() {
+        let config = tiny(false);
+        let train_d = vec![prepared(Benchmark::C880, 3, &config)];
+        let (trained, _) = train(&train_d, &config);
+        let victim = prepared(Benchmark::C432, 4, &config);
+        let outcome = attack(&trained, &victim);
+        let with_cands = victim.sets.iter().filter(|s| !s.candidates.is_empty()).count();
+        assert_eq!(outcome.assignment.len(), with_cands);
+    }
+
+    #[test]
+    fn trained_attack_beats_chance() {
+        let config = tiny(false);
+        let train_d = vec![
+            prepared(Benchmark::C880, 3, &config),
+            prepared(Benchmark::C1355, 5, &config),
+        ];
+        let (trained, _) = train(&train_d, &config);
+        let victim = prepared(Benchmark::C432, 4, &config);
+        let outcome = attack(&trained, &victim);
+        let score = ccr(&victim.view, &outcome.assignment);
+        let chance = 1.0 / victim.view.num_source_fragments().max(1) as f64;
+        assert!(score > 2.0 * chance, "CCR {score} vs chance {chance}");
+    }
+
+    #[test]
+    fn image_model_attack_runs() {
+        let config = tiny(true);
+        let train_d = vec![prepared(Benchmark::C432, 3, &config)];
+        let (trained, _) = train(&train_d, &config);
+        let victim = prepared(Benchmark::C880, 4, &config);
+        let outcome = attack(&trained, &victim);
+        assert!(!outcome.assignment.is_empty());
+        assert!(outcome.inference > Duration::ZERO);
+    }
+
+    #[test]
+    fn attack_is_deterministic() {
+        let config = tiny(false);
+        let train_d = vec![prepared(Benchmark::C880, 3, &config)];
+        let (trained, _) = train(&train_d, &config);
+        let victim = prepared(Benchmark::C432, 4, &config);
+        let a = attack(&trained, &victim);
+        let b = attack(&trained, &victim);
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

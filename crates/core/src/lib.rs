@@ -1,0 +1,65 @@
+//! The DAC'19 deep-learning attack on split manufacturing.
+//!
+//! This crate is the paper's primary contribution, built on the substrates in
+//! `deepsplit-netlist` (cell library + benchmarks), `deepsplit-layout`
+//! (place & route + FEOL/BEOL split), `deepsplit-nn` (the CPU deep-learning
+//! framework) and `deepsplit-flow` (the baselines it is compared against):
+//!
+//! * [`candidates`] — candidate VPP selection with the direction /
+//!   non-duplication / distance criteria (§4.1, Table 1, Fig. 3).
+//! * [`vector_features`] — the 27 vector features (§3.1).
+//! * [`image_features`] — three-scale layout rasters with 2m layer-bit planes
+//!   (§3.2, Fig. 2).
+//! * [`model`] — the hybrid CNN + residual-MLP network (§4.2, Fig. 4,
+//!   Table 2) with softmax-regression and two-class heads.
+//! * [`dataset`] — query assembly and image sharing.
+//! * [`train`] — Adam + the paper's LR schedule, data-parallel on CPU.
+//! * [`attack`] — inference with image-embedding reuse; produces the
+//!   assignment evaluated by CCR (Eq. 1).
+//!
+//! # Example: train on one design, attack another
+//!
+//! ```no_run
+//! use deepsplit_core::config::AttackConfig;
+//! use deepsplit_core::dataset::PreparedDesign;
+//! use deepsplit_core::{attack, train};
+//! use deepsplit_flow::metrics::ccr;
+//! use deepsplit_layout::design::{Design, ImplementConfig};
+//! use deepsplit_layout::geom::Layer;
+//! use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
+//! use deepsplit_netlist::library::CellLibrary;
+//!
+//! let lib = CellLibrary::nangate45();
+//! let config = AttackConfig::fast();
+//!
+//! let trainer = Design::implement(generate_with(Benchmark::C880, 1.0, 1, &lib),
+//!                                 lib.clone(), &ImplementConfig::default());
+//! let victim = Design::implement(generate_with(Benchmark::C432, 1.0, 2, &lib),
+//!                                lib.clone(), &ImplementConfig::default());
+//!
+//! let train_data = vec![PreparedDesign::prepare(&trainer, Layer(3), &config)];
+//! let (trained, _report) = train::train(&train_data, &config);
+//!
+//! let victim_data = PreparedDesign::prepare(&victim, Layer(3), &config);
+//! let outcome = attack::attack(&trained, &victim_data);
+//! println!("CCR = {:.2} %", 100.0 * ccr(&victim_data.view, &outcome.assignment));
+//! ```
+
+pub mod attack;
+pub mod candidates;
+pub mod config;
+pub mod dataset;
+pub mod image_features;
+pub mod model;
+pub mod recover;
+pub mod train;
+pub mod vector_features;
+
+pub use attack::{attack, AttackOutcome};
+pub use candidates::{select_candidates, Candidate, CandidateSet};
+pub use config::AttackConfig;
+pub use dataset::PreparedDesign;
+pub use model::{AttackModel, LossKind, ModelKind};
+pub use recover::{functional_recovery, reconstruct};
+pub use train::{train, TrainReport, TrainedAttack};
+pub use vector_features::{Normalizer, VECTOR_DIM};

@@ -1,0 +1,44 @@
+//! Baseline attacks on split manufacturing.
+//!
+//! The DAC'19 paper compares its deep-learning attack against the network-flow
+//! attack of Wang et al. (TVLSI'18, reference [1] of the paper) and discusses
+//! the naïve proximity attack of Rajendran et al. (DATE'13). Both baselines
+//! are reimplemented here, along with the min-cost max-flow engine and the
+//! correct-connection-rate metric used by every attack:
+//!
+//! * [`mcmf`] — successive-shortest-path min-cost max-flow with deadlines.
+//! * [`proximity`] — the naïve nearest-source attack + spatial indexing.
+//! * [`attack`] — the network-flow attack (proximity as cost, capacitance as
+//!   capacity, iterative rip-up) with timeout reporting, mirroring the `N/A`
+//!   rows of the paper's Table 3.
+//! * [`metrics`] — CCR (paper Eq. 1) and fragment accuracy.
+//!
+//! # Example
+//!
+//! ```
+//! use deepsplit_flow::attack::{network_flow_attack, FlowAttackConfig};
+//! use deepsplit_flow::metrics::ccr;
+//! use deepsplit_layout::design::{Design, ImplementConfig};
+//! use deepsplit_layout::geom::Layer;
+//! use deepsplit_layout::split::split_design;
+//! use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
+//! use deepsplit_netlist::library::CellLibrary;
+//!
+//! let lib = CellLibrary::nangate45();
+//! let nl = generate_with(Benchmark::C432, 0.3, 1, &lib);
+//! let design = Design::implement(nl, lib, &ImplementConfig::default());
+//! let view = split_design(&design, Layer(3));
+//! let outcome = network_flow_attack(&view, &design.netlist, &design.library,
+//!                                   &FlowAttackConfig::default());
+//! let score = ccr(&view, outcome.assignment().expect("no timeout set"));
+//! assert!(score >= 0.0 && score <= 1.0);
+//! ```
+
+pub mod attack;
+pub mod mcmf;
+pub mod metrics;
+pub mod proximity;
+
+pub use attack::{network_flow_attack, FlowAttackConfig, FlowOutcome};
+pub use metrics::{ccr, fragment_accuracy, Assignment};
+pub use proximity::{proximity_attack, SpatialGrid};

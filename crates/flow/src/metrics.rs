@@ -1,0 +1,109 @@
+//! Attack-quality metrics: the correct connection rate (paper Eq. 1).
+
+use deepsplit_layout::split::{FragId, SplitView};
+
+/// An attack's proposed assignment: `(sink fragment, chosen source fragment)`.
+pub type Assignment = Vec<(FragId, FragId)>;
+
+/// Correct connection rate (paper Eq. 1):
+/// `CCR = Σ cᵢ·xᵢ / Σ cᵢ` over all sink fragments `i`, where `cᵢ` is the
+/// fragment's sink-pin count and `xᵢ = 1` iff the selected VPP is positive.
+/// Sink fragments missing from `assignment` count as wrong.
+pub fn ccr(view: &SplitView, assignment: &Assignment) -> f64 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let chosen: std::collections::HashMap<FragId, FragId> = assignment.iter().copied().collect();
+    for &sink in &view.sinks {
+        let c = view.fragment(sink).sink_count;
+        total += c;
+        if let (Some(&truth), Some(&pick)) = (view.truth.get(&sink), chosen.get(&sink)) {
+            if truth == pick {
+                correct += c;
+            }
+        }
+    }
+    if total == 0 {
+        // Nothing was broken: the attacker trivially "recovers" everything.
+        1.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Fraction of sink fragments (not pins) assigned correctly — a secondary
+/// diagnostic not weighted by `cᵢ`.
+pub fn fragment_accuracy(view: &SplitView, assignment: &Assignment) -> f64 {
+    if view.sinks.is_empty() {
+        return 1.0;
+    }
+    let chosen: std::collections::HashMap<FragId, FragId> = assignment.iter().copied().collect();
+    let correct = view
+        .sinks
+        .iter()
+        .filter(|&&s| matches!((view.truth.get(&s), chosen.get(&s)), (Some(t), Some(p)) if t == p))
+        .count();
+    correct as f64 / view.sinks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsplit_layout::design::{Design, ImplementConfig};
+    use deepsplit_layout::geom::Layer;
+    use deepsplit_layout::split::split_design;
+    use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
+    use deepsplit_netlist::library::CellLibrary;
+
+    fn view() -> SplitView {
+        let lib = CellLibrary::nangate45();
+        let nl = generate_with(Benchmark::C432, 0.3, 3, &lib);
+        let d = Design::implement(nl, lib, &ImplementConfig::default());
+        split_design(&d, Layer(1))
+    }
+
+    #[test]
+    fn perfect_assignment_scores_one() {
+        let v = view();
+        let perfect: Assignment = v.truth.iter().map(|(&s, &src)| (s, src)).collect();
+        assert!((ccr(&v, &perfect) - 1.0).abs() < 1e-12);
+        assert!((fragment_accuracy(&v, &perfect) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_assignment_scores_zero() {
+        let v = view();
+        assert_eq!(ccr(&v, &Vec::new()), 0.0);
+    }
+
+    #[test]
+    fn partial_assignment_between() {
+        let v = view();
+        let half: Assignment = v
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(_, (&s, &src))| (s, src))
+            .collect();
+        let score = ccr(&v, &half);
+        assert!(score > 0.0 && score < 1.0, "score {score}");
+    }
+
+    #[test]
+    fn ccr_weights_by_sink_count() {
+        let v = view();
+        // Assign correctly only the sink fragment with the most pins;
+        // CCR must exceed 1/num_sinks if that fragment has > 1 pin.
+        let heaviest = *v
+            .sinks
+            .iter()
+            .max_by_key(|&&s| v.fragment(s).sink_count)
+            .unwrap();
+        if let Some(&src) = v.truth.get(&heaviest) {
+            let a: Assignment = vec![(heaviest, src)];
+            let weighted = ccr(&v, &a);
+            let unweighted = fragment_accuracy(&v, &a);
+            assert!(weighted >= unweighted - 1e-12);
+        }
+    }
+}

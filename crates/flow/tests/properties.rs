@@ -1,0 +1,99 @@
+//! Property-based tests for the baseline-attack machinery: min-cost flow
+//! optimality against brute force, spatial-index exactness, and CCR bounds.
+
+use deepsplit_flow::mcmf::MinCostFlow;
+use deepsplit_flow::proximity::SpatialGrid;
+use deepsplit_layout::geom::Point;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MCMF solves random 3×3 assignment problems optimally (checked against
+    /// brute-force enumeration of all 6 permutations).
+    #[test]
+    fn mcmf_assignment_optimal(costs in proptest::collection::vec(0i64..100, 9)) {
+        let mut g = MinCostFlow::new(8); // s, 3 workers, 3 tasks, t
+        let (s, t) = (0usize, 7usize);
+        for w in 0..3 {
+            g.add_edge(s, 1 + w, 1, 0);
+            g.add_edge(4 + w, t, 1, 0);
+        }
+        for w in 0..3 {
+            for k in 0..3 {
+                g.add_edge(1 + w, 4 + k, 1, costs[w * 3 + k]);
+            }
+        }
+        let (flow, cost) = g.solve(s, t, i64::MAX, None).unwrap();
+        prop_assert_eq!(flow, 3);
+        // Brute force over all permutations.
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let best = perms
+            .iter()
+            .map(|p| (0..3).map(|w| costs[w * 3 + p[w]]).sum::<i64>())
+            .min()
+            .unwrap();
+        prop_assert_eq!(cost, best);
+    }
+
+    /// Max-flow never exceeds the source-side cut.
+    #[test]
+    fn mcmf_respects_cut(caps in proptest::collection::vec(1i64..50, 4)) {
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, caps[0], 1);
+        g.add_edge(0, 2, caps[1], 1);
+        g.add_edge(1, 3, caps[2], 1);
+        g.add_edge(2, 3, caps[3], 1);
+        let (flow, _) = g.solve(0, 3, i64::MAX, None).unwrap();
+        prop_assert!(flow <= caps[0] + caps[1]);
+        prop_assert!(flow <= caps[2] + caps[3]);
+        prop_assert_eq!(flow, (caps[0].min(caps[2])) + (caps[1].min(caps[3])));
+    }
+
+    /// The spatial grid's nearest neighbour matches brute force for any point
+    /// set and any cell size.
+    #[test]
+    fn grid_nearest_exact(
+        pts in proptest::collection::vec((0i64..50_000, 0i64..50_000), 1..60),
+        q in (0i64..50_000, 0i64..50_000),
+        cell in 500i64..20_000,
+    ) {
+        let labelled: Vec<(Point, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Point::new(x, y), i as u32))
+            .collect();
+        let grid = SpatialGrid::build(labelled.iter().copied(), cell);
+        let qp = Point::new(q.0, q.1);
+        let (_, got) = grid.nearest(qp).unwrap();
+        let want = labelled.iter().map(|&(p, _)| qp.manhattan(p)).min().unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    /// k_nearest returns distances in non-decreasing order and matches the
+    /// brute-force k-th distance.
+    #[test]
+    fn grid_k_nearest_sorted(
+        pts in proptest::collection::vec((0i64..50_000, 0i64..50_000), 5..60),
+        q in (0i64..50_000, 0i64..50_000),
+        k in 1usize..8,
+    ) {
+        let labelled: Vec<(Point, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Point::new(x, y), i as u32))
+            .collect();
+        let grid = SpatialGrid::build(labelled.iter().copied(), 5_000);
+        let qp = Point::new(q.0, q.1);
+        let got = grid.k_nearest(qp, k);
+        prop_assert_eq!(got.len(), k.min(pts.len()));
+        for w in got.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        let mut brute: Vec<i64> = labelled.iter().map(|&(p, _)| qp.manhattan(p)).collect();
+        brute.sort();
+        for (i, &(_, d)) in got.iter().enumerate() {
+            prop_assert_eq!(d, brute[i]);
+        }
+    }
+}

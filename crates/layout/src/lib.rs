@@ -1,0 +1,44 @@
+//! Physical-design substrate for the `deepsplit` project.
+//!
+//! The DAC'19 attack consumes *layouts*: placed and routed designs split into
+//! FEOL and BEOL parts. The paper produced them with Cadence Innovus; this
+//! crate rebuilds the needed slice of that flow:
+//!
+//! * [`geom`] — dbu geometry, metal layers with preferred directions.
+//! * [`floorplan`] — row-based die planning from cell area and utilisation.
+//! * [`place`] — net-centroid + annealing placement with Tetris legalisation.
+//! * [`route`] — preferred-direction L/Z pattern routing with length-driven
+//!   layer promotion and track occupancy.
+//! * [`design`] — the end-to-end [`design::Design`] bundle.
+//! * [`split`] — FEOL/BEOL split: fragments, virtual pins, ground truth.
+//! * [`electrical`] — load-capacitance bounds and driver-delay estimates.
+//! * [`def`] — DEF-style export of full designs and FEOL views.
+//!
+//! # Example
+//!
+//! ```
+//! use deepsplit_layout::design::{Design, ImplementConfig};
+//! use deepsplit_layout::geom::Layer;
+//! use deepsplit_layout::split::split_design;
+//! use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
+//! use deepsplit_netlist::library::CellLibrary;
+//!
+//! let lib = CellLibrary::nangate45();
+//! let nl = generate_with(Benchmark::C432, 0.3, 1, &lib);
+//! let design = Design::implement(nl, lib, &ImplementConfig::default());
+//! let view = split_design(&design, Layer(1));
+//! assert!(view.num_sink_fragments() > 0);
+//! ```
+
+pub mod def;
+pub mod design;
+pub mod electrical;
+pub mod floorplan;
+pub mod geom;
+pub mod place;
+pub mod route;
+pub mod split;
+
+pub use design::{Design, ImplementConfig};
+pub use geom::{Dir, Layer, Point, Rect, Segment, Via};
+pub use split::{FragId, FragKind, Fragment, SplitView};

@@ -1,0 +1,147 @@
+//! Property-based tests for geometry, placement legality, routing
+//! connectivity, and split-extraction invariants.
+
+use deepsplit_layout::design::{Design, ImplementConfig};
+use deepsplit_layout::floorplan::Floorplan;
+use deepsplit_layout::geom::{Layer, Point, Rect, Segment};
+use deepsplit_layout::place::{hpwl, place, PlacerConfig};
+use deepsplit_layout::split::split_design;
+use deepsplit_netlist::generate::{generate, GeneratorConfig};
+use deepsplit_netlist::library::CellLibrary;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100_000i64..100_000, -100_000i64..100_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn small_config() -> impl Strategy<Value = GeneratorConfig> {
+    (8usize..24, 60usize..240, 0usize..12, any::<u64>()).prop_map(|(io, gates, ffs, seed)| {
+        GeneratorConfig {
+            num_inputs: io,
+            num_outputs: io,
+            num_gates: gates,
+            num_ffs: ffs,
+            target_depth: 8,
+            locality: 0.6,
+            max_fanout: 8,
+            seed,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Manhattan distance is a metric (symmetry + triangle inequality).
+    #[test]
+    fn manhattan_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        prop_assert_eq!(a.manhattan(a), 0);
+    }
+
+    /// Rect::new normalises corners; containment respects bounds.
+    #[test]
+    fn rect_normalisation(a in arb_point(), b in arb_point(), p in arb_point()) {
+        let r = Rect::new(a, b);
+        prop_assert!(r.lo.x <= r.hi.x && r.lo.y <= r.hi.y);
+        prop_assert_eq!(r.half_perimeter(), r.width() + r.height());
+        if r.contains(p) {
+            prop_assert!(p.x >= r.lo.x && p.x <= r.hi.x);
+        }
+    }
+
+    /// Axis-parallel segments contain exactly the points between endpoints.
+    #[test]
+    fn segment_contains_endpoints(a in arb_point(), dx in 0i64..5000) {
+        let b = Point::new(a.x + dx, a.y);
+        let s = Segment::new(Layer(1), a, b);
+        prop_assert!(s.contains_point(a));
+        prop_assert!(s.contains_point(b));
+        prop_assert_eq!(s.len(), dx);
+    }
+
+    /// Placement is always legal: in-core, row-aligned, non-overlapping.
+    #[test]
+    fn placement_always_legal(config in small_config()) {
+        let lib = CellLibrary::nangate45();
+        let nl = generate("p", &config, &lib);
+        let fp = Floorplan::for_netlist(&nl, &lib, 0.7, 1.0);
+        let pl = place(&nl, &lib, &fp, &PlacerConfig { anneal_moves_per_cell: 2, ..Default::default() });
+        let mut rows: HashMap<usize, Vec<(i64, i64)>> = HashMap::new();
+        for (id, inst) in nl.instances() {
+            let spec = lib.cell(inst.cell);
+            if spec.function.is_pad() {
+                continue;
+            }
+            let o = pl.origins[id.0 as usize];
+            let w = spec.width_sites as i64 * fp.site_width;
+            prop_assert!(o.x >= fp.core.lo.x && o.x + w <= fp.core.hi.x);
+            prop_assert_eq!((o.y - fp.core.lo.y) % fp.row_height, 0);
+            rows.entry(pl.rows[id.0 as usize]).or_default().push((o.x, o.x + w));
+        }
+        for (_, mut spans) in rows {
+            spans.sort();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap {:?} {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    /// Placement optimisation never loses to the random initial placement.
+    #[test]
+    fn placement_beats_random(config in small_config()) {
+        let lib = CellLibrary::nangate45();
+        let nl = generate("p", &config, &lib);
+        let fp = Floorplan::for_netlist(&nl, &lib, 0.7, 1.0);
+        let good = place(&nl, &lib, &fp, &PlacerConfig::default());
+        let random = place(
+            &nl,
+            &lib,
+            &fp,
+            &PlacerConfig { iterations: 0, anneal_moves_per_cell: 0, ..Default::default() },
+        );
+        prop_assert!(hpwl(&nl, &lib, &fp, &good) <= hpwl(&nl, &lib, &fp, &random));
+    }
+
+    /// Split extraction conserves sinks: every sink pin of every crossed net
+    /// lands in exactly one fragment of that net.
+    #[test]
+    fn split_conserves_sink_pins(config in small_config(), layer in 1u8..4) {
+        let lib = CellLibrary::nangate45();
+        let nl = generate("p", &config, &lib);
+        let design = Design::implement(nl, lib, &ImplementConfig::default());
+        let view = split_design(&design, Layer(layer));
+        let mut per_net: HashMap<u32, usize> = HashMap::new();
+        for frag in &view.fragments {
+            for p in &frag.pins {
+                if !p.is_driver {
+                    *per_net.entry(frag.net.0).or_default() += 1;
+                }
+            }
+        }
+        for (nid, net) in design.netlist.nets() {
+            prop_assert_eq!(
+                per_net.get(&nid.0).copied().unwrap_or(0),
+                net.sinks.len(),
+                "net {} sinks not conserved", net.name
+            );
+        }
+    }
+
+    /// Ground truth maps every broken sink fragment to a source fragment of
+    /// the same net, for any split layer.
+    #[test]
+    fn truth_well_formed(config in small_config(), layer in 1u8..4) {
+        let lib = CellLibrary::nangate45();
+        let nl = generate("p", &config, &lib);
+        let design = Design::implement(nl, lib, &ImplementConfig::default());
+        let view = split_design(&design, Layer(layer));
+        for &sink in &view.sinks {
+            let src = view.truth.get(&sink);
+            prop_assert!(src.is_some(), "sink fragment without truth");
+            prop_assert_eq!(view.fragment(*src.unwrap()).net, view.fragment(sink).net);
+        }
+    }
+}

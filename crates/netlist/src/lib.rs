@@ -1,0 +1,41 @@
+//! Gate-level netlist substrate for the `deepsplit` project.
+//!
+//! The DAC'19 paper attacks layouts produced by a commercial flow (Synopsys DC +
+//! Cadence Innovus) over the NanGate 45 nm Open Cell Library, evaluated on
+//! ISCAS-85 / MCNC / ITC-99 benchmarks. None of those artifacts are available
+//! here, so this crate rebuilds the whole front end:
+//!
+//! * [`library`] — a NanGate-45nm-style standard-cell library with pin
+//!   capacitances, maximum load capacitances, a linear delay model and cell
+//!   geometry (the attacker-visible part of the PDK).
+//! * [`netlist`] — the gate-level netlist data model (instances, nets, pins)
+//!   with validation and topological utilities.
+//! * [`generate`] — a seeded random-logic generator that produces circuits with
+//!   controlled size, depth, and fanout statistics.
+//! * [`benchmarks`] — named presets reproducing the published gate/IO counts of
+//!   every design in the paper's Table 3 (`c432` … `b18`).
+//! * [`verilog`] — structural Verilog writer and parser for the library subset.
+//! * [`sim`] — a two-valued functional simulator used to validate generators and
+//!   round-trips.
+//! * [`stats`] — netlist statistics (fanout histogram, logic depth, …).
+//!
+//! # Example
+//!
+//! ```
+//! use deepsplit_netlist::benchmarks::{self, Benchmark};
+//!
+//! let netlist = benchmarks::generate(Benchmark::C432, 1.0, 42);
+//! assert!(netlist.num_instances() > 100);
+//! assert!(netlist.validate().is_ok());
+//! ```
+
+pub mod benchmarks;
+pub mod generate;
+pub mod library;
+pub mod netlist;
+pub mod sim;
+pub mod stats;
+pub mod verilog;
+
+pub use library::{CellFunction, CellLibrary, CellSpec, DriveStrength, PinDir, PinSpec};
+pub use netlist::{InstId, Instance, Net, NetId, Netlist, NetlistError, PinRef};

@@ -1,0 +1,400 @@
+//! Structural Verilog writer and parser for the library cell subset.
+//!
+//! The paper's flow passes netlists between tools as Verilog/DEF; a usable
+//! open-source release needs the same interchange point so users can bring
+//! their own technology-mapped netlists. Only the flat structural subset is
+//! supported: one module, `input`/`output`/`wire` declarations, and named-port
+//! cell instantiations.
+
+use crate::library::{CellFunction, CellLibrary};
+use crate::netlist::{InstId, NetId, Netlist};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerilogError {
+    /// Input ended unexpectedly.
+    UnexpectedEof,
+    /// A token violated the expected grammar.
+    Syntax(String),
+    /// An instantiated cell is not in the library.
+    UnknownCell(String),
+    /// An instance references an undeclared net.
+    UnknownNet(String),
+    /// A port name does not exist on the cell.
+    UnknownPort(String, String),
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerilogError::UnexpectedEof => write!(f, "unexpected end of file"),
+            VerilogError::Syntax(m) => write!(f, "syntax error: {m}"),
+            VerilogError::UnknownCell(c) => write!(f, "unknown cell {c}"),
+            VerilogError::UnknownNet(n) => write!(f, "unknown net {n}"),
+            VerilogError::UnknownPort(c, p) => write!(f, "unknown port {p} on cell {c}"),
+        }
+    }
+}
+
+impl std::error::Error for VerilogError {}
+
+/// Writes `nl` as flat structural Verilog.
+///
+/// Pad pseudo-instances become module ports; every other instance becomes a
+/// named-port instantiation of its library cell.
+pub fn write(nl: &Netlist, lib: &CellLibrary) -> String {
+    let mut inputs: Vec<(String, String)> = Vec::new(); // (port, net)
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    for (_, inst) in nl.instances() {
+        let spec = lib.cell(inst.cell);
+        match spec.function {
+            CellFunction::PadIn => {
+                if let Some(net) = inst.pin_nets[0] {
+                    inputs.push((inst.name.clone(), nl.net(net).name.clone()));
+                }
+            }
+            CellFunction::PadOut => {
+                if let Some(net) = inst.pin_nets[0] {
+                    outputs.push((inst.name.clone(), nl.net(net).name.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut s = String::new();
+    let ports: Vec<String> = inputs
+        .iter()
+        .map(|(p, _)| p.clone())
+        .chain(outputs.iter().map(|(p, _)| p.clone()))
+        .collect();
+    let _ = writeln!(s, "module {} ({});", sanitize(&nl.name), ports.join(", "));
+    for (p, _) in &inputs {
+        let _ = writeln!(s, "  input {p};");
+    }
+    for (p, _) in &outputs {
+        let _ = writeln!(s, "  output {p};");
+    }
+    for (_, net) in nl.nets() {
+        let _ = writeln!(s, "  wire {};", net.name);
+    }
+    // Port aliases: `assign` connects port names to internal nets.
+    for (p, n) in &inputs {
+        if p != n {
+            let _ = writeln!(s, "  assign {n} = {p};");
+        }
+    }
+    for (p, n) in &outputs {
+        if p != n {
+            let _ = writeln!(s, "  assign {p} = {n};");
+        }
+    }
+    for (_, inst) in nl.instances() {
+        let spec = lib.cell(inst.cell);
+        if spec.function.is_pad() {
+            continue;
+        }
+        let conns: Vec<String> = spec
+            .pins
+            .iter()
+            .enumerate()
+            .filter_map(|(p, pin)| {
+                inst.pin_nets[p].map(|net| format!(".{}({})", pin.name, nl.net(net).name))
+            })
+            .collect();
+        let _ = writeln!(s, "  {} {} ({});", spec.name, inst.name, conns.join(", "));
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Tokenizer for the structural subset.
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.src.as_bytes();
+        loop {
+            while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // line comments
+            if self.src[self.pos..].starts_with("//") {
+                while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            if self.src[self.pos..].starts_with("/*") {
+                if let Some(end) = self.src[self.pos..].find("*/") {
+                    self.pos += end + 2;
+                    continue;
+                }
+                self.pos = bytes.len();
+            }
+            break;
+        }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let bytes = self.src.as_bytes();
+        if self.pos >= bytes.len() {
+            return None;
+        }
+        let start = self.pos;
+        let c = bytes[self.pos];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'\\' {
+            while self.pos < bytes.len()
+                && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            if self.pos == start {
+                self.pos += 1; // lone backslash
+            }
+        } else {
+            self.pos += 1;
+        }
+        Some(&self.src[start..self.pos])
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), VerilogError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            Some(t) => Err(VerilogError::Syntax(format!("expected `{tok}`, found `{t}`"))),
+            None => Err(VerilogError::UnexpectedEof),
+        }
+    }
+}
+
+/// Parses flat structural Verilog produced by [`write`] back into a netlist.
+///
+/// # Errors
+///
+/// Returns [`VerilogError`] on malformed input, unknown cells/nets/ports.
+pub fn parse(src: &str, lib: &CellLibrary) -> Result<Netlist, VerilogError> {
+    let mut lx = Lexer::new(src);
+    lx.expect("module")?;
+    let name = lx.next().ok_or(VerilogError::UnexpectedEof)?.to_string();
+    let mut nl = Netlist::new(name, lib);
+
+    // Skip port list.
+    lx.expect("(")?;
+    let mut port_order = Vec::new();
+    loop {
+        match lx.next().ok_or(VerilogError::UnexpectedEof)? {
+            ")" => break,
+            "," => {}
+            tok => port_order.push(tok.to_string()),
+        }
+    }
+    lx.expect(";")?;
+
+    let pad_in = lib.find_id("PAD_IN").expect("library must define PAD_IN");
+    let pad_out = lib.find_id("PAD_OUT").expect("library must define PAD_OUT");
+
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    // assign LHS = RHS;  (alias pairs)
+    let mut assigns: Vec<(String, String)> = Vec::new();
+    // (cell, inst_name, ports[(port, net)])
+    let mut insts: Vec<(String, String, Vec<(String, String)>)> = Vec::new();
+
+    loop {
+        let tok = lx.next().ok_or(VerilogError::UnexpectedEof)?;
+        match tok {
+            "endmodule" => break,
+            "input" | "output" | "wire" => {
+                let list = read_name_list(&mut lx)?;
+                for n in list {
+                    match tok {
+                        "input" => inputs.push(n),
+                        "output" => outputs.push(n),
+                        _ => {
+                            let id = nl.add_net(n.clone());
+                            nets.insert(n, id);
+                        }
+                    }
+                }
+            }
+            "assign" => {
+                let lhs = lx.next().ok_or(VerilogError::UnexpectedEof)?.to_string();
+                lx.expect("=")?;
+                let rhs = lx.next().ok_or(VerilogError::UnexpectedEof)?.to_string();
+                lx.expect(";")?;
+                assigns.push((lhs, rhs));
+            }
+            cell => {
+                let inst_name = lx.next().ok_or(VerilogError::UnexpectedEof)?.to_string();
+                lx.expect("(")?;
+                let mut ports = Vec::new();
+                loop {
+                    match lx.next().ok_or(VerilogError::UnexpectedEof)? {
+                        ")" => break,
+                        "," => {}
+                        "." => {
+                            let port = lx.next().ok_or(VerilogError::UnexpectedEof)?.to_string();
+                            lx.expect("(")?;
+                            let net = lx.next().ok_or(VerilogError::UnexpectedEof)?.to_string();
+                            lx.expect(")")?;
+                            ports.push((port, net));
+                        }
+                        t => return Err(VerilogError::Syntax(format!("unexpected `{t}` in ports"))),
+                    }
+                }
+                lx.expect(";")?;
+                insts.push((cell.to_string(), inst_name, ports));
+            }
+        }
+    }
+
+    // Alias resolution: port name → internal net name.
+    let alias: HashMap<String, String> = assigns
+        .iter()
+        .flat_map(|(lhs, rhs)| {
+            // input alias: internal = port; output alias: port = internal
+            [(lhs.clone(), rhs.clone()), (rhs.clone(), lhs.clone())]
+        })
+        .collect();
+
+    // Create pads. An input port drives either its aliased internal net or a
+    // net with the port's own name.
+    for port in &inputs {
+        let inst = nl.add_instance(port.clone(), pad_in, lib);
+        let net_name = alias.get(port).cloned().unwrap_or_else(|| port.clone());
+        let net = *nets
+            .entry(net_name.clone())
+            .or_insert_with(|| NetId(u32::MAX)); // placeholder fixed below
+        let net = if net == NetId(u32::MAX) {
+            let id = nl.add_net(net_name.clone());
+            nets.insert(net_name, id);
+            id
+        } else {
+            net
+        };
+        nl.connect_driver(net, inst, 0);
+    }
+    for port in &outputs {
+        let inst = nl.add_instance(port.clone(), pad_out, lib);
+        let net_name = alias.get(port).cloned().unwrap_or_else(|| port.clone());
+        let net = match nets.get(&net_name) {
+            Some(&id) => id,
+            None => {
+                let id = nl.add_net(net_name.clone());
+                nets.insert(net_name, id);
+                id
+            }
+        };
+        nl.connect_sink(net, inst, 0);
+    }
+
+    // Create gate instances.
+    for (cell, inst_name, ports) in insts {
+        let kind = lib.find_id(&cell).ok_or_else(|| VerilogError::UnknownCell(cell.clone()))?;
+        let spec = lib.cell(kind).clone();
+        let inst: InstId = nl.add_instance(inst_name, kind, lib);
+        for (port, net_name) in ports {
+            let pin = spec
+                .pins
+                .iter()
+                .position(|p| p.name == port)
+                .ok_or_else(|| VerilogError::UnknownPort(cell.clone(), port.clone()))?;
+            let net = *nets
+                .get(&net_name)
+                .ok_or_else(|| VerilogError::UnknownNet(net_name.clone()))?;
+            match spec.pins[pin].dir {
+                crate::library::PinDir::Output => nl.connect_driver(net, inst, pin as u8),
+                crate::library::PinDir::Input => nl.connect_sink(net, inst, pin as u8),
+            }
+        }
+    }
+
+    Ok(nl)
+}
+
+fn read_name_list(lx: &mut Lexer<'_>) -> Result<Vec<String>, VerilogError> {
+    let mut names = Vec::new();
+    loop {
+        match lx.next().ok_or(VerilogError::UnexpectedEof)? {
+            ";" => break,
+            "," => {}
+            tok => names.push(tok.to_string()),
+        }
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{generate_with, Benchmark};
+    use crate::library::CellLibrary;
+    use crate::sim::functional_agreement;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let lib = CellLibrary::nangate45();
+        let nl = generate_with(Benchmark::C432, 0.5, 11, &lib);
+        let text = write(&nl, &lib);
+        let back = parse(&text, &lib).expect("parse back");
+        assert!(back.validate_with(&lib).is_ok());
+        assert_eq!(back.num_instances(), nl.num_instances());
+        assert_eq!(back.num_nets(), nl.num_nets());
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let lib = CellLibrary::nangate45();
+        let nl = generate_with(Benchmark::C880, 0.3, 11, &lib);
+        let text = write(&nl, &lib);
+        let back = parse(&text, &lib).expect("parse back");
+        let agreement = functional_agreement(&nl, &back, &lib, 24, 5);
+        assert!((agreement - 1.0).abs() < 1e-12, "agreement {agreement}");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_cell() {
+        let lib = CellLibrary::nangate45();
+        let src = "module t (a, z);\n input a;\n output z;\n wire a; wire z;\n BOGUS_X9 u0 (.A(a), .ZN(z));\nendmodule\n";
+        assert!(matches!(parse(src, &lib), Err(VerilogError::UnknownCell(_))));
+    }
+
+    #[test]
+    fn parse_handles_comments() {
+        let lib = CellLibrary::nangate45();
+        // Parsing is two-phase, so `wire z_int;` may appear after its use.
+        let src = "// header\nmodule t (a, z);\n/* block */ input a;\n output z;\n wire n;\n assign n = a;\n INV_X1 u0 (.A(n), .ZN(z_int));\n wire z_int;\n assign z = z_int;\nendmodule\n";
+        let nl = parse(src, &lib).expect("parse");
+        assert!(nl.validate_with(&lib).is_ok());
+        // A truly undeclared net is still rejected.
+        let src2 = "module t (a, z);\n input a;\n output z;\n wire n;\n assign n = a;\n assign z = ghost;\n INV_X1 u0 (.A(n), .ZN(missing));\nendmodule\n";
+        assert!(matches!(parse(src2, &lib), Err(VerilogError::UnknownNet(_))));
+    }
+
+    #[test]
+    fn writer_emits_module_header() {
+        let lib = CellLibrary::nangate45();
+        let nl = generate_with(Benchmark::B13, 0.3, 2, &lib);
+        let text = write(&nl, &lib);
+        assert!(text.starts_with("module b13 ("));
+        assert!(text.trim_end().ends_with("endmodule"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the netlist substrate.
+
+use deepsplit_netlist::generate::{generate, GeneratorConfig};
+use deepsplit_netlist::library::CellLibrary;
+use deepsplit_netlist::sim::functional_agreement;
+use deepsplit_netlist::stats::NetlistStats;
+use deepsplit_netlist::verilog;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        4usize..40,    // inputs
+        4usize..40,    // outputs
+        40usize..400,  // gates
+        0usize..30,    // ffs
+        3usize..20,    // depth
+        0.3f64..0.9,   // locality
+        4usize..16,    // max fanout
+        any::<u64>(),  // seed
+    )
+        .prop_map(|(i, o, g, f, d, l, mf, seed)| GeneratorConfig {
+            num_inputs: i,
+            num_outputs: o,
+            num_gates: g,
+            num_ffs: f,
+            target_depth: d,
+            locality: l,
+            max_fanout: mf,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated netlist is structurally valid.
+    #[test]
+    fn generator_always_valid(config in arb_config()) {
+        let lib = CellLibrary::nangate45();
+        let nl = generate("p", &config, &lib);
+        prop_assert!(nl.validate_with(&lib).is_ok());
+    }
+
+    /// Fanout constraints hold for any configuration.
+    #[test]
+    fn generator_respects_fanout(config in arb_config()) {
+        let lib = CellLibrary::nangate45();
+        let nl = generate("p", &config, &lib);
+        for (_, net) in nl.nets() {
+            prop_assert!(net.fanout() <= config.max_fanout);
+        }
+    }
+
+    /// No driver is ever loaded beyond its library maximum.
+    #[test]
+    fn generator_respects_max_load(config in arb_config()) {
+        let lib = CellLibrary::nangate45();
+        let nl = generate("p", &config, &lib);
+        for (nid, net) in nl.nets() {
+            let driver = net.driver.unwrap();
+            let spec = lib.cell(nl.instance(driver.inst).cell);
+            if spec.function.is_pad() {
+                continue;
+            }
+            prop_assert!(nl.net_load_ff(nid, &lib) <= spec.max_load_ff + 1e-9);
+        }
+    }
+
+    /// Verilog round trip preserves structure and function exactly.
+    #[test]
+    fn verilog_round_trip(config in arb_config()) {
+        let lib = CellLibrary::nangate45();
+        let nl = generate("p", &config, &lib);
+        let text = verilog::write(&nl, &lib);
+        let back = verilog::parse(&text, &lib).expect("parse back");
+        prop_assert!(back.validate_with(&lib).is_ok());
+        prop_assert_eq!(back.num_instances(), nl.num_instances());
+        prop_assert_eq!(back.num_nets(), nl.num_nets());
+        let agreement = functional_agreement(&nl, &back, &lib, 8, config.seed);
+        prop_assert!((agreement - 1.0).abs() < 1e-12, "agreement {}", agreement);
+    }
+
+    /// Statistics are internally consistent.
+    #[test]
+    fn stats_consistent(config in arb_config()) {
+        let lib = CellLibrary::nangate45();
+        let nl = generate("p", &config, &lib);
+        let stats = NetlistStats::compute(&nl, &lib);
+        prop_assert_eq!(stats.fanout_histogram.values().sum::<usize>(), stats.num_nets);
+        let pin_sum: usize = stats.fanout_histogram.iter().map(|(f, c)| f * c).sum();
+        prop_assert_eq!(pin_sum, stats.num_sink_pins);
+        prop_assert!(stats.avg_fanout >= 1.0 - 1e-9);
+        prop_assert!(stats.max_fanout <= config.max_fanout);
+    }
+
+    /// The same seed always regenerates the identical netlist.
+    #[test]
+    fn generator_deterministic(config in arb_config()) {
+        let lib = CellLibrary::nangate45();
+        let a = generate("p", &config, &lib);
+        let b = generate("p", &config, &lib);
+        let fa: Vec<usize> = a.nets().map(|(_, n)| n.fanout()).collect();
+        let fb: Vec<usize> = b.nets().map(|(_, n)| n.fanout()).collect();
+        prop_assert_eq!(fa, fb);
+    }
+}

@@ -1,0 +1,180 @@
+//! The paper's two loss formulations (§4.3).
+//!
+//! * [`softmax_regression`] — the proposed loss (Eq. 6): one score per
+//!   candidate VPP, softmax over the whole candidate group, negative log
+//!   likelihood of the true candidate. Its gradient (Eq. 7) weighs the
+//!   highest-scoring negative exponentially and balances positive/negative
+//!   mass exactly, which is the paper's core training contribution.
+//! * [`two_class`] — the conventional per-candidate two-class classification
+//!   baseline (Eq. 3) that the paper ablates against in Fig. 5: every
+//!   candidate is classified connect/non-connect independently and the loss is
+//!   averaged, which dilutes the positive sample `1/n` and lets outlying
+//!   negatives dominate the argmax at inference.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax of a flat slice.
+fn softmax(xs: &[f32]) -> Vec<f32> {
+    let max = xs.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax regression loss (paper Eq. 6) over a candidate group.
+///
+/// `scores` is `[n, 1]` (one score per candidate VPP of the same sink
+/// fragment), `target` is the index of the positive VPP. Returns
+/// `(loss, gradient)` with the gradient shaped like `scores` (Eq. 7:
+/// `softmax(s) - one_hot(target)`).
+///
+/// # Panics
+///
+/// Panics if `target` is out of range or `scores` is not `[n, 1]`.
+pub fn softmax_regression(scores: &Tensor, target: usize) -> (f32, Tensor) {
+    let (n, c) = scores.dims2();
+    assert_eq!(c, 1, "softmax regression expects [n, 1] scores");
+    assert!(target < n, "target out of range");
+    let p = softmax(scores.data());
+    let loss = -p[target].max(1e-30).ln();
+    let mut grad = Tensor::zeros(&[n, 1]);
+    for j in 0..n {
+        grad.data_mut()[j] = p[j] - if j == target { 1.0 } else { 0.0 };
+    }
+    (loss, grad)
+}
+
+/// Two-class classification loss (paper Eq. 3) over a candidate group.
+///
+/// `scores` is `[n, 2]`: column 0 is the non-connection score `s⁻`, column 1
+/// the connection score `s⁺`. The loss averages an independent two-way softmax
+/// cross-entropy per candidate: the target candidate is labelled *connect*,
+/// all others *non-connect*. Returns `(loss, gradient)` (paper Eq. 4).
+///
+/// # Panics
+///
+/// Panics if `target` is out of range or `scores` is not `[n, 2]`.
+pub fn two_class(scores: &Tensor, target: usize) -> (f32, Tensor) {
+    let (n, c) = scores.dims2();
+    assert_eq!(c, 2, "two-class loss expects [n, 2] scores");
+    assert!(target < n, "target out of range");
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(&[n, 2]);
+    let inv_n = 1.0 / n as f32;
+    for j in 0..n {
+        let s_neg = scores.data()[j * 2];
+        let s_pos = scores.data()[j * 2 + 1];
+        let p = softmax(&[s_neg, s_pos]);
+        let (p_neg, p_pos) = (p[0], p[1]);
+        if j == target {
+            loss -= inv_n * p_pos.max(1e-30).ln();
+            grad.data_mut()[j * 2] = inv_n * p_neg; // d/ds⁻ of -log p⁺
+            grad.data_mut()[j * 2 + 1] = -inv_n * p_neg; // = inv_n (p⁺ - 1)
+        } else {
+            loss -= inv_n * p_neg.max(1e-30).ln();
+            grad.data_mut()[j * 2] = -inv_n * p_pos;
+            grad.data_mut()[j * 2 + 1] = inv_n * p_pos;
+        }
+    }
+    (loss, grad)
+}
+
+/// Connection probabilities for ranking under the two-class model
+/// (`p⁺` per candidate; the argmax of these implements paper Eq. 2).
+pub fn two_class_probabilities(scores: &Tensor) -> Vec<f32> {
+    let (n, c) = scores.dims2();
+    assert_eq!(c, 2, "expects [n, 2] scores");
+    (0..n)
+        .map(|j| {
+            let p = softmax(&scores.data()[j * 2..j * 2 + 2]);
+            p[1]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(
+        loss_fn: impl Fn(&Tensor) -> f32,
+        scores: &Tensor,
+        grad: &Tensor,
+        eps: f32,
+        tol: f32,
+    ) {
+        for idx in 0..scores.numel() {
+            let mut sp = scores.clone();
+            sp.data_mut()[idx] += eps;
+            let mut sm = scores.clone();
+            sm.data_mut()[idx] -= eps;
+            let num = (loss_fn(&sp) - loss_fn(&sm)) / (2.0 * eps);
+            let ana = grad.data()[idx];
+            assert!(
+                (num - ana).abs() < tol,
+                "grad mismatch at {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_regression_gradient_matches_finite_difference() {
+        let scores = Tensor::from_vec(&[4, 1], vec![0.2, -1.0, 0.7, 0.1]);
+        let (_, grad) = softmax_regression(&scores, 2);
+        finite_diff(|s| softmax_regression(s, 2).0, &scores, &grad, 1e-3, 1e-3);
+    }
+
+    #[test]
+    fn two_class_gradient_matches_finite_difference() {
+        let scores = Tensor::from_vec(&[3, 2], vec![0.2, -1.0, 0.7, 0.1, -0.3, 0.5]);
+        let (_, grad) = two_class(&scores, 1);
+        finite_diff(|s| two_class(s, 1).0, &scores, &grad, 1e-3, 1e-3);
+    }
+
+    #[test]
+    fn softmax_regression_prefers_target() {
+        // Loss decreases as the target score rises.
+        let low = Tensor::from_vec(&[3, 1], vec![0.0, 0.0, 0.0]);
+        let high = Tensor::from_vec(&[3, 1], vec![0.0, 3.0, 0.0]);
+        assert!(softmax_regression(&high, 1).0 < softmax_regression(&low, 1).0);
+    }
+
+    #[test]
+    fn softmax_regression_gradient_balances_classes() {
+        // Positive and negative gradient mass cancel exactly (the paper's
+        // imbalance-free property).
+        let scores = Tensor::from_vec(&[5, 1], vec![0.3, 1.2, -0.7, 0.0, 2.0]);
+        let (_, grad) = softmax_regression(&scores, 0);
+        let total: f32 = grad.data().iter().sum();
+        assert!(total.abs() < 1e-6, "gradient sums to {total}");
+    }
+
+    #[test]
+    fn two_class_positive_grad_bounded() {
+        // The paper's critique: each negative contributes at most 1/n to the
+        // gradient, so one outlier cannot be corrected strongly.
+        let n = 10;
+        let mut data = vec![0.0f32; n * 2];
+        data[5 * 2 + 1] = 10.0; // outlying negative prediction
+        let scores = Tensor::from_vec(&[n, 2], data);
+        let (_, grad) = two_class(&scores, 0);
+        for g in grad.data() {
+            assert!(g.abs() <= 1.0 / n as f32 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_per_candidate() {
+        let scores = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, -1.0, -2.0]);
+        let p = two_class_probabilities(&scores);
+        assert!(p[0] > 0.5 && p[1] < 0.5);
+    }
+
+    #[test]
+    fn stable_under_large_scores() {
+        let scores = Tensor::from_vec(&[3, 1], vec![1000.0, 999.0, -1000.0]);
+        let (loss, grad) = softmax_regression(&scores, 0);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+}

@@ -1,0 +1,74 @@
+//! Data-parallel helpers built on `std::thread::scope` (no extra deps).
+//!
+//! Training in the paper runs on a GPU; here gradient computation is
+//! data-parallel over CPU threads: each worker owns a clone of the model,
+//! computes gradients for its shard, and the shards' gradients are averaged.
+
+/// Maps `f` over `items` with up to `threads` worker threads, preserving
+/// order. With `threads <= 1` runs inline.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let threads = threads.min(items.len());
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let out_chunks: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
+    std::thread::scope(|s| {
+        for (t, out_chunk) in out_chunks.into_iter().enumerate() {
+            let start = t * chunk;
+            let slice = &items[start..(start + out_chunk.len()).min(items.len())];
+            let f = &f;
+            s.spawn(move || {
+                for (o, item) in out_chunk.iter_mut().zip(slice) {
+                    *o = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("worker filled slot")).collect()
+}
+
+/// A sensible default worker count for this machine.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_inline() {
+        let items = vec![1, 2, 3];
+        let out = parallel_map(&items, 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = Vec::new();
+        let out = parallel_map(&items, 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = vec![5];
+        let out = parallel_map(&items, 16, |&x| x * x);
+        assert_eq!(out, vec![25]);
+    }
+}

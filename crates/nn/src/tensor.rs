@@ -1,0 +1,408 @@
+//! A minimal dense `f32` tensor.
+//!
+//! The paper trains with TensorFlow on a GPU; in this reproduction the whole
+//! deep-learning stack is rebuilt on the CPU. [`Tensor`] is a contiguous
+//! row-major buffer with just the operations the DAC'19 network needs:
+//! matrix multiplication (three transpose variants, used by dense layers and
+//! im2col convolution), element-wise maps, reductions and concatenation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major `f32` tensor.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)?;
+        } else {
+            write!(f, " [{:.4}, {:.4}, …]", self.data[0], self.data[1])?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// A zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        let n = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Builds a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Tensor {
+        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data mismatch");
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// A 1-element tensor.
+    pub fn scalar(v: f32) -> Tensor {
+        Tensor::from_vec(&[1], vec![v])
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Tensor {
+        assert_eq!(self.numel(), shape.iter().product::<usize>(), "reshape mismatch");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise combination of two equal-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies all elements by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Sets all elements to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Matrix product `self (m×k) × other (k×n) → (m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with compatible inner dimensions.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.dims2();
+        let (k2, n) = other.dims2();
+        assert_eq!(k, k2, "matmul inner dimension mismatch");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// `selfᵀ (k×m) × other (k×n) → (m×n)` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with matching first dimensions.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        let (k, m) = self.dims2();
+        let (k2, n) = other.dims2();
+        assert_eq!(k, k2, "t_matmul dimension mismatch");
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// `self (m×k) × otherᵀ (n×k) → (m×n)` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with matching second dimensions.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.dims2();
+        let (n, k2) = other.dims2();
+        assert_eq!(k, k2, "matmul_t dimension mismatch");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Concatenates 2-D tensors along the second (feature) axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ or the list is empty.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let rows = parts[0].dims2().0;
+        let total: usize = parts.iter().map(|p| p.dims2().1).sum();
+        let mut out = vec![0.0f32; rows * total];
+        for r in 0..rows {
+            let mut at = 0;
+            for p in parts {
+                let (pr, pc) = p.dims2();
+                assert_eq!(pr, rows, "concat row mismatch");
+                out[r * total + at..r * total + at + pc].copy_from_slice(&p.data[r * pc..(r + 1) * pc]);
+                at += pc;
+            }
+        }
+        Tensor::from_vec(&[rows, total], out)
+    }
+
+    /// Splits the gradient of a [`Tensor::concat_cols`] back into parts with
+    /// the given column widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths do not sum to the tensor's column count.
+    pub fn split_cols(&self, widths: &[usize]) -> Vec<Tensor> {
+        let (rows, cols) = self.dims2();
+        assert_eq!(widths.iter().sum::<usize>(), cols, "split widths mismatch");
+        let mut outs: Vec<Tensor> = widths.iter().map(|&w| Tensor::zeros(&[rows, w])).collect();
+        for r in 0..rows {
+            let mut at = 0;
+            for (k, &w) in widths.iter().enumerate() {
+                outs[k].data[r * w..(r + 1) * w]
+                    .copy_from_slice(&self.data[r * cols + at..r * cols + at + w]);
+                at += w;
+            }
+        }
+        outs
+    }
+
+    /// Extracts row `r` of a 2-D tensor as a `[1, cols]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn row(&self, r: usize) -> Tensor {
+        let (rows, cols) = self.dims2();
+        assert!(r < rows, "row out of range");
+        Tensor::from_vec(&[1, cols], self.data[r * cols..(r + 1) * cols].to_vec())
+    }
+
+    /// Stacks `[1, cols]` tensors into `[n, cols]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or the list is empty.
+    pub fn stack_rows(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack of nothing");
+        let cols = parts[0].dims2().1;
+        let mut data = Vec::with_capacity(parts.len() * cols);
+        for p in parts {
+            assert_eq!(p.dims2().1, cols, "stack width mismatch");
+            assert_eq!(p.dims2().0, 1, "stack expects single rows");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(&[parts.len(), cols], data)
+    }
+
+    /// Interprets the tensor as 2-D.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rank is exactly 2.
+    pub fn dims2(&self) -> (usize, usize) {
+        assert_eq!(self.shape.len(), 2, "expected 2-D tensor, got {:?}", self.shape);
+        (self.shape[0], self.shape[1])
+    }
+
+    /// Interprets the tensor as 4-D `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rank is exactly 4.
+    pub fn dims4(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.shape.len(), 4, "expected 4-D tensor, got {:?}", self.shape);
+        (self.shape[0], self.shape[1], self.shape[2], self.shape[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_basic() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_variants_agree() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., -2., 3., 4., 5., -6.]);
+        let b = Tensor::from_vec(&[3, 4], (0..12).map(|i| i as f32 * 0.5 - 2.0).collect());
+        let direct = a.matmul(&b);
+        // aᵀᵀ b via t_matmul with explicitly transposed a.
+        let mut at = Tensor::zeros(&[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                at.data_mut()[j * 2 + i] = a.data()[i * 3 + j];
+            }
+        }
+        let via_t = at.t_matmul(&b);
+        for (x, y) in direct.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        // a b = a (bᵀ)ᵀ via matmul_t.
+        let mut bt = Tensor::zeros(&[4, 3]);
+        for i in 0..3 {
+            for j in 0..4 {
+                bt.data_mut()[j * 3 + i] = b.data()[i * 4 + j];
+            }
+        }
+        let via_bt = a.matmul_t(&bt);
+        for (x, y) in direct.data().iter().zip(via_bt.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn concat_split_round_trip() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(&[2, 3], vec![5., 6., 7., 8., 9., 10.]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 5]);
+        assert_eq!(c.data(), &[1., 2., 5., 6., 7., 3., 4., 8., 9., 10.]);
+        let parts = c.split_cols(&[2, 3]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn rows_and_stacking() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r0 = a.row(0);
+        let r1 = a.row(1);
+        let back = Tensor::stack_rows(&[r0, r1]);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        let b = Tensor::from_vec(&[3], vec![10., 20., 30.]);
+        a.axpy(0.1, &b);
+        assert_eq!(a.data(), &[2., 4., 6.]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1., 2., 3.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn bad_from_vec_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = a.clone().reshape(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+}

@@ -1,0 +1,50 @@
+//! Interchange formats: writes a benchmark as structural Verilog, a routed
+//! DEF, and the anonymised FEOL-only DEF an untrusted foundry would hold —
+//! then parses the Verilog back and proves functional equivalence.
+//!
+//! ```text
+//! cargo run --release --example export_formats
+//! ```
+
+use deepsplit::prelude::*;
+use deepsplit::layout::def;
+use deepsplit::netlist::{sim, verilog};
+
+fn main() {
+    let lib = CellLibrary::nangate45();
+    let nl = benchmarks::generate_with(Benchmark::B13, 1.0, 9, &lib);
+
+    // Structural Verilog round trip.
+    let text = verilog::write(&nl, &lib);
+    println!("verilog: {} lines", text.lines().count());
+    let parsed = verilog::parse(&text, &lib).expect("parse back");
+    let agreement = sim::functional_agreement(&nl, &parsed, &lib, 32, 7);
+    println!("round-trip functional agreement: {:.1} %", 100.0 * agreement);
+    assert!((agreement - 1.0).abs() < 1e-12);
+
+    // Routed DEF of the full design.
+    let design = Design::implement(nl, lib, &ImplementConfig::default());
+    let full_def = def::write_def(&design);
+    println!("full DEF: {} lines", full_def.lines().count());
+
+    // FEOL-only DEF after splitting at M1 — what the untrusted foundry sees.
+    let view = split_design(&design, Layer(1));
+    let feol = def::write_feol_def(&view, &design.netlist.name);
+    println!(
+        "FEOL DEF (M1 split): {} lines, {} broken sink fragments, {} virtual pins",
+        feol.lines().count(),
+        view.num_sink_fragments(),
+        view
+            .fragments
+            .iter()
+            .map(|f| f.virtual_pins.len())
+            .sum::<usize>()
+    );
+
+    let out = std::env::temp_dir().join("deepsplit_export");
+    std::fs::create_dir_all(&out).expect("create output dir");
+    std::fs::write(out.join("b13.v"), &text).expect("write verilog");
+    std::fs::write(out.join("b13.def"), &full_def).expect("write def");
+    std::fs::write(out.join("b13_feol_m1.def"), &feol).expect("write feol def");
+    println!("written to {}", out.display());
+}

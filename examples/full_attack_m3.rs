@@ -1,0 +1,76 @@
+//! The paper's headline scenario end-to-end: train the DL attack on several
+//! layouts, then attack a held-out set split after M3 and compare all three
+//! attacks (deep learning, network-flow [1], naïve proximity) on CCR and
+//! runtime — a miniature of Table 3.
+//!
+//! ```text
+//! cargo run --release --example full_attack_m3
+//! ```
+
+use deepsplit::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let lib = CellLibrary::nangate45();
+    let config = AttackConfig::fast();
+    let layer = Layer(3);
+
+    // Training database: four mid-sized layouts.
+    let training = [Benchmark::C880, Benchmark::C1355, Benchmark::C1908, Benchmark::B13];
+    println!("building training database ({} layouts)…", training.len());
+    let mut train_data = Vec::new();
+    for (i, bench) in training.iter().enumerate() {
+        let nl = benchmarks::generate_with(*bench, 1.0, 100 + i as u64, &lib);
+        let design = Design::implement(nl, lib.clone(), &ImplementConfig::default());
+        train_data.push(PreparedDesign::prepare(&design, layer, &config));
+    }
+    let (trained, report) = train::train(&train_data, &config);
+    println!(
+        "trained: {} queries, loss {:.3} -> {:.3}",
+        report.trainable_queries,
+        report.epoch_loss.first().copied().unwrap_or(f32::NAN),
+        report.epoch_loss.last().copied().unwrap_or(f32::NAN),
+    );
+
+    // Victims: three held-out designs.
+    let victims = [Benchmark::C432, Benchmark::C2670, Benchmark::B7];
+    println!(
+        "\n{:<8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "design", "#Sk", "#Sc", "DL CCR%", "flow CCR%", "prox CCR%", "DL time s"
+    );
+    for (i, bench) in victims.iter().enumerate() {
+        let nl = benchmarks::generate_with(*bench, 1.0, 200 + i as u64, &lib);
+        let design = Design::implement(nl, lib.clone(), &ImplementConfig::default());
+        let victim = PreparedDesign::prepare(&design, layer, &config);
+
+        let t0 = Instant::now();
+        let outcome = attack::attack(&trained, &victim);
+        let dl_time = t0.elapsed();
+        let dl = 100.0 * ccr(&victim.view, &outcome.assignment);
+
+        let flow = network_flow_attack(
+            &victim.view,
+            &design.netlist,
+            &design.library,
+            &FlowAttackConfig::default(),
+        );
+        let flow_ccr = flow
+            .assignment()
+            .map(|a| 100.0 * ccr(&victim.view, a))
+            .unwrap_or(f64::NAN);
+
+        let prox = 100.0 * ccr(&victim.view, &proximity_attack(&victim.view));
+
+        println!(
+            "{:<8} {:>6} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>10.3}",
+            bench.name(),
+            victim.view.num_sink_fragments(),
+            victim.view.num_source_fragments(),
+            dl,
+            flow_ccr,
+            prox,
+            dl_time.as_secs_f64()
+        );
+    }
+    println!("\n(the paper's Table 3 regenerates in full via `cargo run --release -p deepsplit-bench --bin table3`)");
+}

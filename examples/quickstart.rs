@@ -1,0 +1,62 @@
+//! Quickstart: the full attack pipeline in ~40 lines.
+//!
+//! Builds two layouts, trains the DL attack on one, attacks the other split
+//! after M3, and compares against the naïve proximity baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use deepsplit::prelude::*;
+
+fn main() {
+    let lib = CellLibrary::nangate45();
+    let config = AttackConfig::fast();
+
+    // The attacker's database: layouts generated "in a similar manner" to
+    // the victim's (paper threat model) — here, two different benchmarks.
+    // (The full Table 3 protocol trains on nine designs.)
+    println!("implementing training layouts (c880, c1355)…");
+    let train_designs: Vec<Design> = [(Benchmark::C880, 11), (Benchmark::C1355, 12)]
+        .into_iter()
+        .map(|(b, seed)| {
+            let nl = benchmarks::generate_with(b, 1.0, seed, &lib);
+            Design::implement(nl, lib.clone(), &ImplementConfig::default())
+        })
+        .collect();
+
+    // The victim layout, split after M3: only the FEOL is visible.
+    println!("implementing victim layout (c432)…");
+    let victim_nl = benchmarks::generate_with(Benchmark::C432, 1.0, 22, &lib);
+    let victim_design = Design::implement(victim_nl, lib, &ImplementConfig::default());
+
+    println!("extracting features and training…");
+    let train_data: Vec<PreparedDesign> = train_designs
+        .iter()
+        .map(|d| PreparedDesign::prepare(d, Layer(3), &config))
+        .collect();
+    let (trained, report) = train::train(&train_data, &config);
+    println!(
+        "  trained on {} sink fragments, final loss {:.3}",
+        report.trainable_queries,
+        report.epoch_loss.last().copied().unwrap_or(f32::NAN)
+    );
+
+    println!("attacking…");
+    let victim = PreparedDesign::prepare(&victim_design, Layer(3), &config);
+    let outcome = attack::attack(&trained, &victim);
+    let dl_ccr = ccr(&victim.view, &outcome.assignment);
+
+    let prox = proximity_attack(&victim.view);
+    let prox_ccr = ccr(&victim.view, &prox);
+
+    println!();
+    println!(
+        "victim c432 @ M3: {} sink fragments, {} source fragments",
+        victim.view.num_sink_fragments(),
+        victim.view.num_source_fragments()
+    );
+    println!("  deep-learning attack CCR: {:.2} %", 100.0 * dl_ccr);
+    println!("  naïve proximity CCR:      {:.2} %", 100.0 * prox_ccr);
+    println!("  inference time:           {:.3} s", outcome.inference.as_secs_f64());
+}

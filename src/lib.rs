@@ -1,0 +1,60 @@
+//! # deepsplit
+//!
+//! A from-scratch Rust reproduction of *“Attacking Split Manufacturing from a
+//! Deep Learning Perspective”* (Li et al., DAC 2019) — the first
+//! deep-learning attack on split manufacturing — together with every
+//! substrate the paper depends on:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`netlist`] | NanGate-45nm-style cell library, netlist model, ISCAS/ITC benchmark twins, Verilog I/O, simulator |
+//! | [`layout`] | floorplan, placement, preferred-direction routing, DEF export, FEOL/BEOL split extraction |
+//! | [`nn`] | CPU deep-learning framework (tensors, conv/dense/residual layers, the paper's losses, Adam/SGD) |
+//! | [`flow`] | baselines: network-flow attack (Wang et al.) and naïve proximity attack, min-cost max-flow, CCR |
+//! | [`core`] | the paper's attack: candidates, vector/image features, hybrid network, training, inference |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use deepsplit::prelude::*;
+//!
+//! // 1. Build a layout (the victim's fab database).
+//! let lib = CellLibrary::nangate45();
+//! let netlist = benchmarks::generate_with(Benchmark::C432, 1.0, 7, &lib);
+//! let design = Design::implement(netlist, lib, &ImplementConfig::default());
+//!
+//! // 2. Split after M3: the attacker sees only the FEOL.
+//! let config = AttackConfig::fast();
+//! let victim = PreparedDesign::prepare(&design, Layer(3), &config);
+//!
+//! // 3. Train on other layouts, then attack.
+//! # let training_designs: Vec<PreparedDesign> = vec![];
+//! let (trained, _) = train::train(&training_designs, &config);
+//! let outcome = attack::attack(&trained, &victim);
+//! println!("CCR = {:.1} %", 100.0 * ccr(&victim.view, &outcome.assignment));
+//! ```
+//!
+//! See `examples/` for full end-to-end scenarios and `crates/bench` for the
+//! binaries regenerating every table and figure of the paper.
+
+pub use deepsplit_core as core;
+pub use deepsplit_flow as flow;
+pub use deepsplit_layout as layout;
+pub use deepsplit_netlist as netlist;
+pub use deepsplit_nn as nn;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use deepsplit_core::attack;
+    pub use deepsplit_core::config::AttackConfig;
+    pub use deepsplit_core::dataset::PreparedDesign;
+    pub use deepsplit_core::train;
+    pub use deepsplit_flow::attack::{network_flow_attack, FlowAttackConfig, FlowOutcome};
+    pub use deepsplit_flow::metrics::{ccr, fragment_accuracy};
+    pub use deepsplit_flow::proximity::proximity_attack;
+    pub use deepsplit_layout::design::{Design, ImplementConfig};
+    pub use deepsplit_layout::geom::Layer;
+    pub use deepsplit_layout::split::{split_design, FragKind, SplitView};
+    pub use deepsplit_netlist::benchmarks::{self, Benchmark};
+    pub use deepsplit_netlist::library::CellLibrary;
+}

@@ -1,0 +1,100 @@
+//! Integration test reproducing the semantics of the paper's **Figure 1**:
+//! split layouts decompose into source/sink/through fragments holding virtual
+//! pins in the split layer, with ground truth linking sink fragments back to
+//! their net's source fragment.
+
+use deepsplit::prelude::*;
+use deepsplit::layout::split::{audit, FragKind};
+
+fn build(bench: Benchmark, scale: f64, seed: u64) -> Design {
+    let lib = CellLibrary::nangate45();
+    let nl = benchmarks::generate_with(bench, scale, seed, &lib);
+    Design::implement(nl, lib, &ImplementConfig::default())
+}
+
+#[test]
+fn figure1_fragment_taxonomy() {
+    let design = build(Benchmark::C880, 1.0, 5);
+    let view = split_design(&design, Layer(3));
+
+    let mut kinds = std::collections::HashMap::new();
+    for frag in &view.fragments {
+        *kinds.entry(frag.kind).or_insert(0usize) += 1;
+    }
+    // All four taxonomy classes of Fig. 1 must occur in a realistic layout.
+    assert!(kinds.get(&FragKind::Source).copied().unwrap_or(0) > 0, "no source fragments");
+    assert!(kinds.get(&FragKind::Sink).copied().unwrap_or(0) > 0, "no sink fragments");
+    assert!(kinds.get(&FragKind::Complete).copied().unwrap_or(0) > 0, "no complete nets");
+    // Through fragments (wire-only M3 trunks between two cut vias, as drawn
+    // in Fig. 1) appear whenever trunks traverse the split layer.
+    assert!(kinds.get(&FragKind::Through).copied().unwrap_or(0) > 0, "no through fragments");
+}
+
+#[test]
+fn every_matching_fragment_has_virtual_pins() {
+    let design = build(Benchmark::C432, 1.0, 6);
+    for layer in [1u8, 3] {
+        let view = split_design(&design, Layer(layer));
+        for &id in view.sources.iter().chain(&view.sinks) {
+            assert!(
+                !view.fragment(id).virtual_pins.is_empty(),
+                "fragment {id:?} in matching without virtual pin (M{layer})"
+            );
+        }
+        let problems = audit(&view, &design);
+        assert!(problems.is_empty(), "M{layer}: {problems:?}");
+    }
+}
+
+#[test]
+fn ground_truth_is_consistent_with_netlist() {
+    let design = build(Benchmark::B13, 1.0, 7);
+    let view = split_design(&design, Layer(1));
+    assert!(!view.truth.is_empty());
+    for (&sink, &source) in &view.truth {
+        let sf = view.fragment(sink);
+        let cf = view.fragment(source);
+        assert_eq!(sf.net, cf.net, "truth links fragments of different nets");
+        assert!(cf.pins.iter().any(|p| p.is_driver), "truth target lacks a driver");
+        assert!(!sf.pins.iter().any(|p| p.is_driver), "sink fragment holds a driver");
+    }
+}
+
+#[test]
+fn multi_fanout_nets_may_split_into_multiple_sink_fragments() {
+    let design = build(Benchmark::C1355, 1.0, 8);
+    let view = split_design(&design, Layer(1));
+    let mut per_net = std::collections::HashMap::new();
+    for &sink in &view.sinks {
+        *per_net.entry(view.fragment(sink).net).or_insert(0usize) += 1;
+    }
+    assert!(
+        per_net.values().any(|&n| n > 1),
+        "expected at least one net with several sink fragments (paper §2.2)"
+    );
+}
+
+#[test]
+fn split_layer_bounds_feol_geometry() {
+    let design = build(Benchmark::C432, 0.6, 9);
+    for layer in [1u8, 3] {
+        let view = split_design(&design, Layer(layer));
+        for frag in &view.fragments {
+            for s in &frag.segments {
+                assert!(s.layer.0 <= layer, "segment above split layer");
+            }
+            for v in &frag.vias {
+                assert!(v.lower.0 < layer, "via cut at/above split layer");
+            }
+        }
+    }
+}
+
+#[test]
+fn higher_split_layer_means_fewer_broken_nets() {
+    let design = build(Benchmark::C2670, 0.6, 10);
+    let m1 = split_design(&design, Layer(1));
+    let m3 = split_design(&design, Layer(3));
+    assert!(m3.num_sink_fragments() < m1.num_sink_fragments());
+    assert!(m3.total_broken_sinks() < m1.total_broken_sinks());
+}
