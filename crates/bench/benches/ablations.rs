@@ -29,7 +29,10 @@ fn bench_candidate_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("candidate_count_sweep");
     group.sample_size(10);
     for n in [7usize, 15, 31] {
-        let config = AttackConfig { candidates: n, ..profile.attack.clone() };
+        let config = AttackConfig {
+            candidates: n,
+            ..profile.attack.clone()
+        };
         group.bench_with_input(BenchmarkId::new("select", n), &view, |b, view| {
             b.iter(|| select_candidates(view, &config))
         });
@@ -46,7 +49,10 @@ fn bench_image_resolution(c: &mut Criterion) {
     let mut group = c.benchmark_group("image_resolution_sweep");
     group.sample_size(10);
     for px in [9usize, 17, 33, 99] {
-        let config = AttackConfig { image_px: px, ..AttackConfig::paper() };
+        let config = AttackConfig {
+            image_px: px,
+            ..AttackConfig::paper()
+        };
         let extractor = ImageExtractor::new(&view, &config);
         group.bench_with_input(BenchmarkId::new("render", px), &extractor, |b, ex| {
             b.iter(|| ex.render(sink, vp))
@@ -62,7 +68,10 @@ fn bench_flow_slack(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow_cap_slack_sweep");
     group.sample_size(10);
     for slack in [0.0f64, 0.25, 1e6] {
-        let config = FlowAttackConfig { cap_slack: slack, ..FlowAttackConfig::default() };
+        let config = FlowAttackConfig {
+            cap_slack: slack,
+            ..FlowAttackConfig::default()
+        };
         group.bench_with_input(
             BenchmarkId::new("flow", format!("{slack}")),
             &view,
@@ -88,7 +97,9 @@ fn bench_substrate(c: &mut Criterion) {
         b.iter(|| route(&nl, &lib, &fp, &placement, &RouterConfig::default()))
     });
     let design = Design::implement(nl.clone(), lib.clone(), &ImplementConfig::default());
-    group.bench_function("split_m3_c880", |b| b.iter(|| split_design(&design, Layer(3))));
+    group.bench_function("split_m3_c880", |b| {
+        b.iter(|| split_design(&design, Layer(3)))
+    });
     group.finish();
 }
 

@@ -1,0 +1,99 @@
+//! The attack-vs-defense matrix: every defense at every strength against all
+//! three attackers, with PPA overhead — the paper's future-work direction
+//! quantified.
+//!
+//! ```text
+//! cargo run --release --bin defense_matrix                    # fast default
+//! cargo run --release --bin defense_matrix -- --designs c432,c880
+//! cargo run --release --bin defense_matrix -- --strengths 0.25,0.5,1.0
+//! cargo run --release --bin defense_matrix -- --layers 1,3 --images
+//! cargo run --release --bin defense_matrix -- --json matrix.json
+//! ```
+
+use deepsplit_defense::sweep::{self, SweepConfig};
+use deepsplit_defense::DefenseKind;
+use deepsplit_layout::geom::Layer;
+use deepsplit_netlist::benchmarks::Benchmark;
+
+fn list_arg(args: &[String], flag: &str) -> Option<Vec<String>> {
+    let pos = args.iter().position(|a| a == flag)?;
+    Some(args.get(pos + 1)?.split(',').map(str::to_string).collect())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = SweepConfig::fast();
+
+    if let Some(designs) = list_arg(&args, "--designs") {
+        config.benchmarks = designs
+            .iter()
+            .filter_map(|n| Benchmark::from_name(n))
+            .collect();
+        assert!(
+            !config.benchmarks.is_empty(),
+            "--designs matched no benchmark"
+        );
+    }
+    if let Some(strengths) = list_arg(&args, "--strengths") {
+        config.strengths = strengths
+            .iter()
+            .map(|s| s.parse().expect("bad strength"))
+            .collect();
+    }
+    if let Some(layers) = list_arg(&args, "--layers") {
+        config.split_layers = layers
+            .iter()
+            .map(|l| Layer(l.parse().expect("bad layer")))
+            .collect();
+    }
+    if let Some(kinds) = list_arg(&args, "--defenses") {
+        config.kinds = kinds
+            .iter()
+            .map(|k| DefenseKind::from_name(k).expect("unknown defense"))
+            .collect();
+    }
+    if args.iter().any(|a| a == "--images") {
+        config.eval.attack.use_images = true;
+    }
+
+    let cells = config.cells().len();
+    eprintln!(
+        "sweeping {cells} cells ({} benchmarks × {} layers × [baseline + {} defenses × {} strengths]) …",
+        config.benchmarks.len(),
+        config.split_layers.len(),
+        config.kinds.iter().filter(|&&k| k != DefenseKind::None).count(),
+        config.strengths.len(),
+    );
+    let results = sweep::sweep(&config);
+    print!("{}", sweep::render_matrix(&results));
+
+    // Headline: the best protection factor each defense kind achieved.
+    println!();
+    for kind in DefenseKind::all()
+        .into_iter()
+        .filter(|&k| k != DefenseKind::None)
+    {
+        let best = results
+            .iter()
+            .filter(|r| r.defense.kind == kind)
+            .map(|r| (sweep::protection_factor(&results, r), r))
+            .max_by(|a, b| a.0.total_cmp(&b.0));
+        if let Some((factor, r)) = best {
+            println!(
+                "best {:>9}: {:>5.1}× DL-CCR reduction on {} (M{}, strength {:.2}, {:+.1} % wirelength)",
+                kind.name(),
+                factor,
+                r.benchmark,
+                r.split_layer,
+                r.defense.strength,
+                r.defense.wirelength_overhead_pct(),
+            );
+        }
+    }
+
+    if let Some(path) = list_arg(&args, "--json").and_then(|v| v.into_iter().next()) {
+        let json = serde_json::to_string(&results).expect("serialise matrix");
+        std::fs::write(&path, json).expect("write matrix json");
+        eprintln!("wrote {path}");
+    }
+}

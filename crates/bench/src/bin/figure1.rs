@@ -23,8 +23,17 @@ fn main() {
             vp_total += frag.virtual_pins.len();
         }
         println!("Figure 1 census — c880 split after M{layer}:");
-        for kind in [FragKind::Source, FragKind::Sink, FragKind::Through, FragKind::Complete] {
-            println!("  {:?} fragments: {}", kind, census.get(&kind).copied().unwrap_or(0));
+        for kind in [
+            FragKind::Source,
+            FragKind::Sink,
+            FragKind::Through,
+            FragKind::Complete,
+        ] {
+            println!(
+                "  {:?} fragments: {}",
+                kind,
+                census.get(&kind).copied().unwrap_or(0)
+            );
         }
         println!("  virtual pins in M{layer}: {vp_total}");
         println!(
@@ -47,7 +56,11 @@ fn main() {
         .filter(|(_, f)| f.len() >= 3)
         .max_by_key(|(_, f)| f.len())
     {
-        println!("example net {} splits into {} fragments @ M3:", net, frags.len());
+        println!(
+            "example net {} splits into {} fragments @ M3:",
+            net,
+            frags.len()
+        );
         for &fi in frags {
             let frag = &view.fragments[fi];
             let bbox = frag.bbox();
@@ -62,7 +75,11 @@ fn main() {
                 to_um(bbox.height()),
             );
             for vp in &frag.virtual_pins {
-                println!("      virtual pin @ ({:.2}, {:.2}) um", to_um(vp.x), to_um(vp.y));
+                println!(
+                    "      virtual pin @ ({:.2}, {:.2}) um",
+                    to_um(vp.x),
+                    to_um(vp.y)
+                );
             }
         }
     }

@@ -41,7 +41,10 @@ fn main() {
         vp.y as f64 / 1000.0
     );
     for (si, scale) in config.image_scales_um.iter().enumerate() {
-        println!("\n--- scale {si}: {scale} um/pixel (window {:.2} um) ---", scale * px as f64);
+        println!(
+            "\n--- scale {si}: {scale} um/pixel (window {:.2} um) ---",
+            scale * px as f64
+        );
         // Collapse the 2m planes of this scale into one glyph per pixel:
         // '#' own wiring, '+' other wiring, '.' empty (higher layers win).
         for y in (0..px).rev() {

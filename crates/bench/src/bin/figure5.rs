@@ -21,11 +21,20 @@ fn main() {
     );
     let report = run_figure5(&profile, designs);
 
-    println!("\nFigure 5: loss and feature ablation (M3 split, profile `{}`)", report.profile);
+    println!(
+        "\nFigure 5: loss and feature ablation (M3 split, profile `{}`)",
+        report.profile
+    );
     println!("{:-<56}", "");
-    println!("{:<12} {:>14} {:>22}", "Setting", "avg CCR (%)", "avg inference (s)");
+    println!(
+        "{:<12} {:>14} {:>22}",
+        "Setting", "avg CCR (%)", "avg inference (s)"
+    );
     for p in &report.points {
-        println!("{:<12} {:>14.2} {:>22.3}", p.setting, p.avg_ccr, p.avg_inference_s);
+        println!(
+            "{:<12} {:>14.2} {:>22.3}",
+            p.setting, p.avg_ccr, p.avg_inference_s
+        );
     }
     println!("{:-<56}", "");
     if let (Some(base), Some(vec), Some(img)) = (

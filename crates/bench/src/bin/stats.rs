@@ -15,7 +15,18 @@ fn main() {
     let lib = CellLibrary::nangate45();
     println!(
         "{:<8} {:>7} {:>5} {:>6} | {:>7} {:>7} {:>9} {:>9} | {:>7} {:>7} {:>9} {:>9}",
-        "design", "gates", "depth", "scale", "Sk(M1)", "Sc(M1)", "paperSk1", "paperSc1", "Sk(M3)", "Sc(M3)", "paperSk3", "paperSc3"
+        "design",
+        "gates",
+        "depth",
+        "scale",
+        "Sk(M1)",
+        "Sc(M1)",
+        "paperSk1",
+        "paperSc1",
+        "Sk(M3)",
+        "Sc(M3)",
+        "paperSk3",
+        "paperSc3"
     );
     for (i, bench) in Benchmark::all().into_iter().enumerate() {
         let design = implement_benchmark(&profile, bench, 2002 + i as u64);

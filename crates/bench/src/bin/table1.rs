@@ -12,11 +12,21 @@ use deepsplit_netlist::library::CellLibrary;
 fn main() {
     println!("Table 1: VPP Preferences (direction criterion, paper §4.1)");
     println!("{:-<64}", "");
-    println!("{:<6} {:<6} {:<16} {:<16} Criterion", "Sk", "Sc", "Sk prefers Sc", "Sc prefers Sk");
+    println!(
+        "{:<6} {:<6} {:<16} {:<16} Criterion",
+        "Sk", "Sc", "Sk prefers Sc", "Sc prefers Sk"
+    );
     let names = [("A", "A"), ("A", "B"), ("B", "A"), ("B", "B")];
     for ((sk, sc), (p1, p2, cand)) in names.iter().zip(table1_rows()) {
         let tick = |b: bool| if b { "yes" } else { "no" };
-        println!("{:<6} {:<6} {:<16} {:<16} {}", sk, sc, tick(p1), tick(p2), tick(cand));
+        println!(
+            "{:<6} {:<6} {:<16} {:<16} {}",
+            sk,
+            sc,
+            tick(p1),
+            tick(p2),
+            tick(cand)
+        );
     }
 
     // Live demonstration on a real split layout: count how many VPPs the

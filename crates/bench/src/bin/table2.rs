@@ -14,12 +14,7 @@ fn main() {
     };
     // Paper setting: splitting on M3 → m = 3 → 2m bit planes × 3 scales.
     let channels = config.image_channels(3);
-    let mut model = AttackModel::new(
-        ModelKind::VecImg,
-        LossKind::SoftmaxRegression,
-        channels,
-        1,
-    );
+    let mut model = AttackModel::new(ModelKind::VecImg, LossKind::SoftmaxRegression, channels, 1);
 
     println!(
         "Table 2: Neural Network Configuration (n = {}, images {px}x{px}, {channels} channels)",

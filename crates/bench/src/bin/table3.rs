@@ -42,7 +42,10 @@ fn fmt_opt(v: Option<f64>, width: usize) -> String {
 }
 
 fn print_report(report: &Table3Report, filter: Option<&[Benchmark]>) {
-    println!("\nTable 3: Comparison with State-of-the-art Attack (profile `{}`)", report.profile);
+    println!(
+        "\nTable 3: Comparison with State-of-the-art Attack (profile `{}`)",
+        report.profile
+    );
     println!("{:-<118}", "");
     println!(
         "{:<8} | {:>6} {:>6} {:>8} {:>8} {:>9} {:>9} | {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
@@ -50,7 +53,19 @@ fn print_report(report: &Table3Report, filter: Option<&[Benchmark]>) {
     );
     println!(
         "{:<8} | {:>6} {:>6} {:>8} {:>8} {:>9} {:>9} | {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
-        "Design", "#Sk", "#Sc", "CCR[1]", "CCR-us", "RT[1] s", "RT-us s", "#Sk", "#Sc", "CCR[1]", "CCR-us", "RT[1] s", "RT-us s"
+        "Design",
+        "#Sk",
+        "#Sc",
+        "CCR[1]",
+        "CCR-us",
+        "RT[1] s",
+        "RT-us s",
+        "#Sk",
+        "#Sc",
+        "CCR[1]",
+        "CCR-us",
+        "RT[1] s",
+        "RT-us s"
     );
     println!("{:-<118}", "");
     for row in &report.rows {
@@ -94,13 +109,17 @@ fn print_report(report: &Table3Report, filter: Option<&[Benchmark]>) {
     );
 
     // Paper reference values for shape comparison.
-    println!("\nPaper reference (CCR %, for shape comparison — absolute values differ by construction):");
+    println!(
+        "\nPaper reference (CCR %, for shape comparison — absolute values differ by construction):"
+    );
     println!(
         "{:<8} {:>10} {:>10} {:>10} {:>10}",
         "Design", "M1 [1]", "M1 ours", "M3 [1]", "M3 ours"
     );
     for row in &report.rows {
-        let Some(bench) = Benchmark::from_name(&row.design) else { continue };
+        let Some(bench) = Benchmark::from_name(&row.design) else {
+            continue;
+        };
         if let Some(f) = filter {
             if !f.contains(&bench) {
                 continue;
@@ -110,9 +129,11 @@ fn print_report(report: &Table3Report, filter: Option<&[Benchmark]>) {
         println!(
             "{:<8} {:>10} {:>10.2} {:>10} {:>10.2}",
             row.design,
-            f1.map(|x| format!("{x:.2}")).unwrap_or_else(|| "N/A".into()),
+            f1.map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "N/A".into()),
             o1,
-            f3.map(|x| format!("{x:.2}")).unwrap_or_else(|| "N/A".into()),
+            f3.map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "N/A".into()),
             o3,
         );
     }

@@ -130,11 +130,7 @@ impl Profile {
 pub fn design_filter(args: &[String]) -> Option<Vec<Benchmark>> {
     let pos = args.iter().position(|a| a == "--designs")?;
     let list = args.get(pos + 1)?;
-    Some(
-        list.split(',')
-            .filter_map(Benchmark::from_name)
-            .collect(),
-    )
+    Some(list.split(',').filter_map(Benchmark::from_name).collect())
 }
 
 /// Implements one benchmark layout under a profile.
@@ -246,7 +242,10 @@ pub fn attack_design(
     let flow = network_flow_attack(view, &design.netlist, &design.library, &flow_config);
     let flow_runtime = t1.elapsed();
     let (flow_ccr, flow_runtime_s) = match flow {
-        FlowOutcome::Completed(a) => (Some(100.0 * ccr(view, &a)), Some(flow_runtime.as_secs_f64())),
+        FlowOutcome::Completed(a) => (
+            Some(100.0 * ccr(view, &a)),
+            Some(flow_runtime.as_secs_f64()),
+        ),
         FlowOutcome::TimedOut => (None, None),
     };
 
@@ -271,7 +270,11 @@ pub fn run_table3(profile: &Profile, designs: Option<Vec<Benchmark>>) -> Table3R
         let design = implement_benchmark(profile, *bench, profile.attack_seed + i as u64);
         let m1 = attack_design(profile, &trained_m1, &design, Layer(1));
         let m3 = attack_design(profile, &trained_m3, &design, Layer(3));
-        rows.push(Table3Row { design: bench.name().to_string(), m1, m3 });
+        rows.push(Table3Row {
+            design: bench.name().to_string(),
+            m1,
+            m3,
+        });
     }
     Table3Report {
         profile: profile.name.clone(),
@@ -316,8 +319,7 @@ pub struct Fig5Report {
 /// softmax-regression with images, all splitting on M3.
 pub fn run_figure5(profile: &Profile, designs: Option<Vec<Benchmark>>) -> Fig5Report {
     let layer = Layer(3);
-    let victims: Vec<Benchmark> =
-        designs.unwrap_or_else(|| Benchmark::validation_set().to_vec());
+    let victims: Vec<Benchmark> = designs.unwrap_or_else(|| Benchmark::validation_set().to_vec());
     let settings: [(&str, bool, bool); 3] = [
         ("Two-class", false, true),
         ("Vec", false, false),
@@ -331,8 +333,15 @@ pub fn run_figure5(profile: &Profile, designs: Option<Vec<Benchmark>>) -> Fig5Re
         .collect();
     let mut points = Vec::new();
     for (name, use_images, two_class) in settings {
-        let config = AttackConfig { use_images, two_class, ..profile.attack.clone() };
-        let sub_profile = Profile { attack: config.clone(), ..profile.clone() };
+        let config = AttackConfig {
+            use_images,
+            two_class,
+            ..profile.attack.clone()
+        };
+        let sub_profile = Profile {
+            attack: config.clone(),
+            ..profile.clone()
+        };
         let trained = train_for_layer(&sub_profile, layer);
         let mut ccr_sum = 0.0;
         let mut time_sum = 0.0;
@@ -349,7 +358,10 @@ pub fn run_figure5(profile: &Profile, designs: Option<Vec<Benchmark>>) -> Fig5Re
             avg_inference_s: time_sum / victim_designs.len().max(1) as f64,
         });
     }
-    Fig5Report { profile: profile.name.clone(), points }
+    Fig5Report {
+        profile: profile.name.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -367,7 +379,10 @@ mod tests {
 
     #[test]
     fn design_filter_parses() {
-        let args: Vec<String> = ["x", "--designs", "c432,b13"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["x", "--designs", "c432,b13"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let f = design_filter(&args).unwrap();
         assert_eq!(f, vec![Benchmark::C432, Benchmark::B13]);
         assert!(design_filter(&["x".to_string()]).is_none());
@@ -384,7 +399,11 @@ mod tests {
             flow_runtime_s: Some(10.0),
             ours_runtime_s: 1.0,
         };
-        let na = Table3Cell { flow_ccr: None, flow_runtime_s: None, ..done.clone() };
+        let na = Table3Cell {
+            flow_ccr: None,
+            flow_runtime_s: None,
+            ..done.clone()
+        };
         let cells = vec![done, na];
         let (f, o, fr, or) = table3_averages(cells.into_iter());
         assert_eq!(f, 50.0);

@@ -1,0 +1,398 @@
+//! Offline stand-in for the `proptest` API surface this workspace uses.
+//!
+//! Differences from real proptest, by design:
+//! * sampling is **deterministic** — the RNG is seeded from the test-function
+//!   name, so CI failures always reproduce locally;
+//! * there is no shrinking — a failing case reports its values via the
+//!   `prop_assert!` message instead;
+//! * strategies are plain samplers (`Strategy::sample`), not value trees.
+//!
+//! Supported: range strategies over the primitive numerics, tuples up to
+//! arity 8, `collection::vec`, `any::<T>()`, `prop_map`, `proptest!` with an
+//! optional `#![proptest_config(...)]` header, and the `prop_assert*` /
+//! `prop_assume!` macros.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A sampler of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.unit::<$t>() * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple!(A:0);
+    impl_tuple!(A:0, B:1);
+    impl_tuple!(A:0, B:1, C:2);
+    impl_tuple!(A:0, B:1, C:2, D:3);
+    impl_tuple!(A:0, B:1, C:2, D:3, E:4);
+    impl_tuple!(A:0, B:1, C:2, D:3, E:4, F:5);
+    impl_tuple!(A:0, B:1, C:2, D:3, E:4, F:5, G:6);
+    impl_tuple!(A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7);
+
+    /// Types with a canonical full-domain strategy ([`crate::arbitrary::any`]).
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Any, Arbitrary};
+
+    /// The canonical strategy for `T`'s full domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-lower, exclusive-upper element-count range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors whose elements come from `elem` and whose
+    /// length comes from `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test deterministic RNG (SplitMix64 seeded from the test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from the test-function name, so every run of a
+        /// given test sees the same case sequence.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next word of the stream.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw in `[0, 1)` of the requested float type.
+        pub fn unit<T: Unit>(&mut self) -> T {
+            T::from_u64(self.next_u64())
+        }
+    }
+
+    /// Float types [`TestRng::unit`] can produce.
+    pub trait Unit {
+        /// Maps a uniform word onto `[0, 1)`.
+        fn from_u64(word: u64) -> Self;
+    }
+
+    impl Unit for f64 {
+        fn from_u64(word: u64) -> f64 {
+            (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Unit for f32 {
+        fn from_u64(word: u64) -> f32 {
+            (word >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    /// A failed or rejected test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let ($($arg,)*) = ($($crate::strategy::Strategy::sample(&($strat), &mut __rng),)*);
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!("property `{}` failed at case {}: {}", stringify!($name), __case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property body, failing the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{:?} != {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{:?} != {:?}: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "both sides equal {:?}",
+                __l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,490 @@
+//! Offline API-compatible stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! slice of serde the workspace actually uses: `#[derive(Serialize,
+//! Deserialize)]` (including `#[serde(skip)]`), plus blanket impls for the
+//! std types appearing in derived structs. The data model is a single JSON
+//! [`Value`] tree rather than serde's visitor architecture — `serde_json` in
+//! `crates/compat` prints and parses that tree.
+//!
+//! Round-trip fidelity notes:
+//! * `f32` goes through `f64` (exact) and is printed with shortest-roundtrip
+//!   formatting, so `T → json → T` is bit-exact for finite floats;
+//! * non-finite floats are printed as bare `Infinity` / `-Infinity` / `NaN`
+//!   tokens (accepted back by the parser) instead of failing;
+//! * maps serialize as sorted `[key, value]` pair arrays when the key is not
+//!   a string, keeping output deterministic.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::time::Duration;
+
+/// The self-describing data model shared by [`Serialize`] and [`Deserialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer outside the `i64` range.
+    UInt(u64),
+    /// Floating-point number (including non-finite values).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with string keys, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, when this is an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::UInt(u) => Some(*u),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    /// A short type tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// An "expected X while deserializing Y" error.
+    pub fn expected(what: &str, context: &str) -> Error {
+        Error(format!("expected {what} while deserializing {context}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that convert themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that reconstruct themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self`, reporting a structural mismatch as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `v` does not match the expected shape.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks a derived-struct field up by name and deserializes it (used by the
+/// generated `Deserialize` impls).
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the field is missing or mismatched.
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v),
+        None => Err(Error(format!("missing field `{name}`"))),
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                match i64::try_from(*self as i128) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let wide: Option<i128> = match v {
+                    Value::Int(i) => Some(*i as i128),
+                    Value::UInt(u) => Some(*u as i128),
+                    Value::Float(f) if f.fract() == 0.0 => Some(*f as i128),
+                    _ => None,
+                };
+                if let Some(w) = wide {
+                    if let Ok(x) = <$t>::try_from(w) {
+                        return Ok(x);
+                    }
+                }
+                Err(Error::expected("integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("number", "f32"))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .and_then(|s| {
+                let mut it = s.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Some(c),
+                    _ => None,
+                }
+            })
+            .ok_or_else(|| Error::expected("single-char string", "char"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        items
+            .try_into()
+            .map_err(|items: Vec<T>| Error(format!("expected array of {N}, got {}", items.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::expected("array", "tuple"))?;
+                if s.len() != $len {
+                    return Err(Error(format!("expected {}-tuple, got {} elements", $len, s.len())));
+                }
+                Ok(($($name::deserialize(&s[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A:0; 1);
+impl_tuple!(A:0, B:1; 2);
+impl_tuple!(A:0, B:1, C:2; 3);
+impl_tuple!(A:0, B:1, C:2, D:3; 4);
+impl_tuple!(A:0, B:1, C:2, D:3, E:4; 5);
+impl_tuple!(A:0, B:1, C:2, D:3, E:4, F:5; 6);
+
+/// Shared map serialization: sorted `[key, value]` pair array (keys need not
+/// be strings, and sorting keeps the output deterministic).
+fn serialize_pairs<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    it: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    let mut pairs: Vec<(String, Value, Value)> = it
+        .map(|(k, v)| {
+            let kv = k.serialize();
+            (format!("{kv:?}"), kv, v.serialize())
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Seq(
+        pairs
+            .into_iter()
+            .map(|(_, k, v)| Value::Seq(vec![k, v]))
+            .collect(),
+    )
+}
+
+fn deserialize_pairs<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    v.as_seq()
+        .ok_or_else(|| Error::expected("array of pairs", "map"))?
+        .iter()
+        .map(|pair| {
+            let s = pair
+                .as_seq()
+                .ok_or_else(|| Error::expected("[key, value] pair", "map"))?;
+            if s.len() != 2 {
+                return Err(Error::expected("[key, value] pair", "map"));
+            }
+            Ok((K::deserialize(&s[0])?, V::deserialize(&s[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        serialize_pairs(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(deserialize_pairs::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        serialize_pairs(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(deserialize_pairs::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::UInt(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::expected("object", "Duration"))?;
+        let secs: u64 = field(obj, "secs")?;
+        let nanos: u32 = field(obj, "nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::deserialize(&42i64.serialize()).unwrap(), 42);
+        assert_eq!(f32::deserialize(&1.5f32.serialize()).unwrap(), 1.5);
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = [(1u32, 2i64), (3, 4)];
+        let m: HashMap<u32, i64> = v.iter().copied().collect();
+        let back: HashMap<u32, i64> = Deserialize::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back, m);
+        let arr = [vec![1.0f32], vec![2.0]];
+        let back: [Vec<f32>; 2] = Deserialize::deserialize(&arr.serialize()).unwrap();
+        assert_eq!(back, arr);
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let d = Duration::new(7, 123);
+        assert_eq!(Duration::deserialize(&d.serialize()).unwrap(), d);
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` over the compat `serde` data model.
+//!
+//! There is no `syn`/`quote` in the container, so the input item is parsed
+//! directly from the `proc_macro::TokenStream`. Supported shapes — exactly
+//! what this workspace derives on:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`: skipped on
+//!   serialize, `Default::default()` on deserialize),
+//! * tuple structs (single field = newtype semantics, several = array),
+//! * enums with unit and tuple variants (externally tagged).
+//!
+//! Generic parameters are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+/// A named field: `(name, skipped)`.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// An enum variant.
+struct Variant {
+    name: String,
+    /// Number of tuple fields (0 = unit variant).
+    tuple_arity: usize,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde compat derive does not support generic type `{name}`");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => panic!("unit structs are not supported by the serde compat derive"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Advances past any `#[...]` attributes, reporting whether one of them was
+/// `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            let body = g.stream().to_string();
+            if body.starts_with("serde") && body.contains("skip") {
+                skip = true;
+            }
+            *i += 1;
+        }
+    }
+    skip
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past a type (field type or discriminant) up to a top-level comma,
+/// tracking angle-bracket depth so `HashMap<K, V>` stays intact.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_until_comma(&tokens, &mut i);
+        i += 1; // consume the comma (or run off the end after the last field)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let mut tuple_arity = 0;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tuple_arity = count_tuple_fields(g.stream());
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("struct enum variants are not supported by the serde compat derive")
+            }
+            _ => {}
+        }
+        // Optional discriminant, then the separating comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_until_comma(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, tuple_arity });
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push((\"{0}\".to_string(), ::serde::Serialize::serialize(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(__m)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                if v.tuple_arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    ));
+                } else {
+                    let binds: Vec<String> =
+                        (0..v.tuple_arity).map(|k| format!("__f{k}")).collect();
+                    let payload = if v.tuple_arity == 1 {
+                        "::serde::Serialize::serialize(__f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                        binds = binds.join(", ")
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!("{0}: ::serde::field(__obj, \"{0}\")?,\n", f.name));
+                }
+            }
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))"),
+        Shape::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                 if __s.len() != {n} {{ return Err(::serde::Error::expected(\"array of {n}\", \"{name}\")); }}\n\
+                 Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                if v.tuple_arity == 0 {
+                    unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                } else if v.tuple_arity == 1 {
+                    data_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::deserialize(__payload)?)),\n"
+                    ));
+                } else {
+                    let gets: Vec<String> = (0..v.tuple_arity)
+                        .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+                        .collect();
+                    data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                             let __s = __payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                             if __s.len() != {n} {{ return Err(::serde::Error::expected(\"array of {n}\", \"{name}::{vn}\")); }}\n\
+                             return Ok({name}::{vn}({gets}));\n\
+                         }}\n",
+                        n = v.tuple_arity,
+                        gets = gets.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "if let Some(__tag) = __v.as_str() {{\n\
+                     match __tag {{\n{unit_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 if let Some(__obj) = __v.as_object() {{\n\
+                     if __obj.len() == 1 {{\n\
+                         let (__tag, __payload) = (&__obj[0].0, &__obj[0].1);\n\
+                         match __tag.as_str() {{\n{data_arms}_ => {{}}\n}}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::Error::expected(\"known variant\", \"{name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

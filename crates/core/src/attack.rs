@@ -46,7 +46,9 @@ pub fn attack(trained: &TrainedAttack, prepared: &PreparedDesign) -> AttackOutco
                 .map(|r| Tensor::from_vec(&[1, d], emb.data()[r * d..(r + 1) * d].to_vec()))
                 .collect::<Vec<_>>()
         });
-        keys.into_iter().zip(results.into_iter().flatten()).collect()
+        keys.into_iter()
+            .zip(results.into_iter().flatten())
+            .collect()
     } else {
         HashMap::new()
     };
@@ -67,7 +69,8 @@ pub fn attack(trained: &TrainedAttack, prepared: &PreparedDesign) -> AttackOutco
             let scores = if use_images {
                 let (sink_key, cand_keys) = &prepared.image_keys[qi];
                 let sink_emb = embeddings[sink_key].clone();
-                let src_rows: Vec<Tensor> = cand_keys.iter().map(|k| embeddings[k].clone()).collect();
+                let src_rows: Vec<Tensor> =
+                    cand_keys.iter().map(|k| embeddings[k].clone()).collect();
                 let src_refs: Vec<&Tensor> = src_rows.iter().collect();
                 let src = stack_rows2(&src_refs);
                 m.score_from_embeddings(&vectors, Some((&src, &sink_emb)), false)
@@ -87,7 +90,10 @@ pub fn attack(trained: &TrainedAttack, prepared: &PreparedDesign) -> AttackOutco
     });
 
     let assignment: Assignment = picks.into_iter().flatten().collect();
-    AttackOutcome { assignment, inference: start.elapsed() }
+    AttackOutcome {
+        assignment,
+        inference: start.elapsed(),
+    }
 }
 
 /// Stacks `[1, d]` rows into `[n, d]`.
@@ -138,7 +144,11 @@ mod tests {
         let (trained, _) = train(&train_d, &config);
         let victim = prepared(Benchmark::C432, 4, &config);
         let outcome = attack(&trained, &victim);
-        let with_cands = victim.sets.iter().filter(|s| !s.candidates.is_empty()).count();
+        let with_cands = victim
+            .sets
+            .iter()
+            .filter(|s| !s.candidates.is_empty())
+            .count();
         assert_eq!(outcome.assignment.len(), with_cands);
     }
 

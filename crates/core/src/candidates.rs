@@ -118,7 +118,10 @@ fn source_vp_index(view: &SplitView) -> (SpatialGrid, Vec<(FragId, Point)>) {
     let n = labelled.len().max(1);
     let cell = ((view.die.half_perimeter() / 2) as f64 / (n as f64).sqrt()).max(1000.0) as i64;
     let grid = SpatialGrid::build(
-        labelled.iter().enumerate().map(|(i, &(_, p))| (p, i as u32)),
+        labelled
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, p))| (p, i as u32)),
         cell,
     );
     (grid, labelled)
@@ -148,13 +151,18 @@ fn select_for_sink(
     for &svp in &frag.virtual_pins {
         for (label, _) in grid.k_nearest(svp, pool) {
             let (src, cvp) = labelled[label as usize];
-            raw.push(Candidate { source: src, sink_vp: svp, source_vp: cvp });
+            raw.push(Candidate {
+                source: src,
+                sink_vp: svp,
+                source_vp: cvp,
+            });
         }
     }
 
     // 1. Direction criterion: drop VPPs where neither pin prefers the other.
     raw.retain(|c| {
-        prefers(view, sink, c.sink_vp, c.source_vp) || prefers(view, c.source, c.source_vp, c.sink_vp)
+        prefers(view, sink, c.sink_vp, c.source_vp)
+            || prefers(view, c.source, c.source_vp, c.sink_vp)
     });
 
     // 2. Non-duplication: shortest non-preferred distance per source fragment.
@@ -180,7 +188,11 @@ fn select_for_sink(
         .get(&sink)
         .and_then(|&src| candidates.iter().position(|c| c.source == src));
 
-    CandidateSet { sink, candidates, positive }
+    CandidateSet {
+        sink,
+        candidates,
+        positive,
+    }
 }
 
 /// The share of sink fragments whose positive VPP survives candidate
@@ -208,10 +220,10 @@ pub fn positive_coverage(view: &SplitView, sets: &[CandidateSet]) -> f64 {
 pub fn table1_rows() -> [(bool, bool, bool); 4] {
     // (Sk prefers Sc, Sc prefers Sk) → candidate iff either preference holds.
     [
-        (true, false, true),  // Sk A – Sc A
-        (true, true, true),   // Sk A – Sc B
+        (true, false, true),   // Sk A – Sc A
+        (true, true, true),    // Sk A – Sc B
         (false, false, false), // Sk B – Sc A (the excluded pair of Fig. 3)
-        (true, true, true),   // Sk B – Sc B
+        (true, true, true),    // Sk B – Sc B
     ]
 }
 
@@ -234,7 +246,10 @@ mod tests {
     #[test]
     fn candidate_sets_bounded_by_n() {
         let v = m3_view();
-        let config = AttackConfig { candidates: 7, ..AttackConfig::fast() };
+        let config = AttackConfig {
+            candidates: 7,
+            ..AttackConfig::fast()
+        };
         let sets = select_candidates(&v, &config);
         assert_eq!(sets.len(), v.sinks.len());
         for s in &sets {

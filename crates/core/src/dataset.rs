@@ -166,7 +166,10 @@ impl PreparedDesign {
         order.truncate(max_queries);
         order.sort_unstable();
         self.sets = order.iter().map(|&i| self.sets[i].clone()).collect();
-        self.raw_features = order.iter().map(|&i| self.raw_features[i].clone()).collect();
+        self.raw_features = order
+            .iter()
+            .map(|&i| self.raw_features[i].clone())
+            .collect();
         if self.channels > 0 {
             self.image_keys = order.iter().map(|&i| self.image_keys[i].clone()).collect();
             let mut used: HashMap<ImageKey, ()> = HashMap::new();
@@ -204,9 +207,7 @@ pub fn stack_batch(parts: &[&Tensor]) -> Tensor {
 /// Fits the feature normaliser over all candidates of the given designs
 /// (training designs only, per standard protocol).
 pub fn fit_normalizer(designs: &[PreparedDesign]) -> Normalizer {
-    let rows = designs
-        .iter()
-        .flat_map(|d| d.raw_features.iter().flatten());
+    let rows = designs.iter().flat_map(|d| d.raw_features.iter().flatten());
     Normalizer::fit(rows)
 }
 
@@ -221,7 +222,10 @@ mod tests {
         let lib = CellLibrary::nangate45();
         let nl = generate_with(Benchmark::C432, 0.4, 3, &lib);
         let d = Design::implement(nl, lib, &ImplementConfig::default());
-        let config = AttackConfig { use_images, ..AttackConfig::fast() };
+        let config = AttackConfig {
+            use_images,
+            ..AttackConfig::fast()
+        };
         PreparedDesign::prepare(&d, Layer(3), &config)
     }
 

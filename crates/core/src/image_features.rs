@@ -19,6 +19,11 @@ use deepsplit_layout::split::{FragId, SplitView};
 use deepsplit_nn::tensor::Tensor;
 use std::collections::HashMap;
 
+/// Bucketed segment index: cell → (fragment, segment).
+type SegIndex = HashMap<(i64, i64), Vec<(u32, Segment)>>;
+/// Bucketed via index: cell → (fragment, lower layer, point).
+type ViaIndex = HashMap<(i64, i64), Vec<(u32, u8, Point)>>;
+
 /// Rasteriser for virtual-pin neighbourhood images.
 ///
 /// Holds a spatial index over all FEOL geometry of a split view; one instance
@@ -29,10 +34,8 @@ pub struct ImageExtractor<'v> {
     px: usize,
     scales_dbu: Vec<i64>,
     feol_layers: u8,
-    /// Bucketed segment index: cell → (fragment, segment).
-    seg_index: HashMap<(i64, i64), Vec<(u32, Segment)>>,
-    /// Bucketed via index: cell → (fragment, lower layer, point).
-    via_index: HashMap<(i64, i64), Vec<(u32, u8, Point)>>,
+    seg_index: SegIndex,
+    via_index: ViaIndex,
     bucket: i64,
 }
 
@@ -45,8 +48,8 @@ impl<'v> ImageExtractor<'v> {
         // bounded number of buckets.
         let max_window = scales_dbu.iter().max().copied().unwrap_or(um(0.2)) * px as i64;
         let bucket = max_window.max(um(1.0));
-        let mut seg_index: HashMap<(i64, i64), Vec<(u32, Segment)>> = HashMap::new();
-        let mut via_index: HashMap<(i64, i64), Vec<(u32, u8, Point)>> = HashMap::new();
+        let mut seg_index: SegIndex = HashMap::new();
+        let mut via_index: ViaIndex = HashMap::new();
         for (fi, frag) in view.fragments.iter().enumerate() {
             for s in &frag.segments {
                 // Insert into every bucket the segment touches.
@@ -60,7 +63,10 @@ impl<'v> ImageExtractor<'v> {
             }
             for v in &frag.vias {
                 let key = (v.at.x.div_euclid(bucket), v.at.y.div_euclid(bucket));
-                via_index.entry(key).or_default().push((fi as u32, v.lower.0, v.at));
+                via_index
+                    .entry(key)
+                    .or_default()
+                    .push((fi as u32, v.lower.0, v.at));
             }
         }
         ImageExtractor {
@@ -100,7 +106,14 @@ impl<'v> ImageExtractor<'v> {
         out
     }
 
-    fn raster_scale(&self, own: FragId, origin: Point, scale: i64, chan_base: usize, out: &mut Tensor) {
+    fn raster_scale(
+        &self,
+        own: FragId,
+        origin: Point,
+        scale: i64,
+        chan_base: usize,
+        out: &mut Tensor,
+    ) {
         let px = self.px as i64;
         let m = self.feol_layers as usize;
         let window = scale * px;
@@ -109,7 +122,12 @@ impl<'v> ImageExtractor<'v> {
         let data = out.data_mut();
         let plane = |is_own: bool, layer: u8| -> usize {
             // [other M1..Mm, own M1..Mm], ascending significance.
-            chan_base + if is_own { m + layer as usize - 1 } else { layer as usize - 1 }
+            chan_base
+                + if is_own {
+                    m + layer as usize - 1
+                } else {
+                    layer as usize - 1
+                }
         };
         let mut mark = |chan: usize, x: i64, y: i64| {
             if x < 0 || y < 0 || x >= px || y >= px {
@@ -127,7 +145,10 @@ impl<'v> ImageExtractor<'v> {
                         let chan = plane(FragId(fi) == own, s.layer.0);
                         // Clip to the window and walk the covered pixels.
                         let (ax, ay) = ((s.a.x.min(s.b.x)).max(lo.x), (s.a.y.min(s.b.y)).max(lo.y));
-                        let (cx, cy) = ((s.a.x.max(s.b.x)).min(hi.x - 1), (s.a.y.max(s.b.y)).min(hi.y - 1));
+                        let (cx, cy) = (
+                            (s.a.x.max(s.b.x)).min(hi.x - 1),
+                            (s.a.y.max(s.b.y)).min(hi.y - 1),
+                        );
                         if ax > cx || ay > cy {
                             continue;
                         }
@@ -188,7 +209,10 @@ mod tests {
         let sink = v.sinks[0];
         let vp = v.fragment(sink).virtual_pins[0];
         let img = ex.render(sink, vp);
-        assert_eq!(img.shape(), &[1, ex.channels(), config.image_px, config.image_px]);
+        assert_eq!(
+            img.shape(),
+            &[1, ex.channels(), config.image_px, config.image_px]
+        );
     }
 
     #[test]
@@ -220,7 +244,9 @@ mod tests {
             // Own planes of scale 0 are channels m..2m.
             let own_sum: f32 = (m..2 * m)
                 .map(|c| {
-                    img.data()[(c * px * px)..((c + 1) * px * px)].iter().sum::<f32>()
+                    img.data()[(c * px * px)..((c + 1) * px * px)]
+                        .iter()
+                        .sum::<f32>()
                 })
                 .sum();
             assert!(own_sum > 0.0, "own fragment invisible in own planes");
@@ -246,7 +272,11 @@ mod tests {
             .map(|si| {
                 let base = si * 2 * m;
                 (base..base + 2 * m)
-                    .map(|c| img.data()[(c * px * px)..((c + 1) * px * px)].iter().sum::<f32>())
+                    .map(|c| {
+                        img.data()[(c * px * px)..((c + 1) * px * px)]
+                            .iter()
+                            .sum::<f32>()
+                    })
                     .sum()
             })
             .collect();
@@ -286,7 +316,11 @@ mod tests {
             let m = 3usize;
             let chan = m + (layer as usize - 1);
             let center = (chan * px + px / 2) * px + px / 2;
-            assert_eq!(img.data()[center], 1.0, "wire at VP missing from centre pixel");
+            assert_eq!(
+                img.data()[center],
+                1.0,
+                "wire at VP missing from centre pixel"
+            );
             return;
         }
         panic!("no VP terminating any fragment segment found");

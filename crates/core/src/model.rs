@@ -19,7 +19,9 @@
 //! paper.
 
 use deepsplit_nn::init::Initializer;
-use deepsplit_nn::layers::{Conv2d, GlobalAvgPool, Layer, LeakyRelu, Linear, ParamRef, Params, ResBlock};
+use deepsplit_nn::layers::{
+    Conv2d, GlobalAvgPool, Layer, LeakyRelu, Linear, ParamRef, Params, ResBlock,
+};
 use deepsplit_nn::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -115,7 +117,10 @@ impl ConvTower {
             if stage > 0 {
                 side = side.div_ceil(3);
             }
-            rows.push((format!("conv{}", stage + 1), format!("[3x3, {ch}] x 3 -> {side}x{side}x{ch}")));
+            rows.push((
+                format!("conv{}", stage + 1),
+                format!("[3x3, {ch}] x 3 -> {side}x{side}x{ch}"),
+            ));
         }
         rows.push(("fc3".into(), "128 x 256".into()));
         rows.push(("fc4".into(), "256 x 128".into()));
@@ -258,7 +263,12 @@ impl AttackModel {
 
     /// Full forward pass: vectors `[n, 27]` and, for `VecImg`, the image
     /// stack `[n+1, C, H, W]` with the **sink image first**.
-    pub fn forward_query(&mut self, vectors: &Tensor, images: Option<&Tensor>, train: bool) -> Tensor {
+    pub fn forward_query(
+        &mut self,
+        vectors: &Tensor,
+        images: Option<&Tensor>,
+        train: bool,
+    ) -> Tensor {
         match self.kind {
             ModelKind::VecOnly => self.score_from_embeddings(vectors, None, train),
             ModelKind::VecImg => {
@@ -478,7 +488,10 @@ mod tests {
         model.zero_grad();
         model.backward_query(&grad);
         let grads = export_grads(&mut model);
-        let nonzero = grads.iter().filter(|g| g.data().iter().any(|&x| x != 0.0)).count();
+        let nonzero = grads
+            .iter()
+            .filter(|g| g.data().iter().any(|&x| x != 0.0))
+            .count();
         // Every parameter group should receive gradient signal.
         assert!(
             nonzero > grads.len() / 2,

@@ -106,7 +106,13 @@ mod tests {
                 (s, src)
             })
             .collect();
-        let full = functional_recovery(&d, &v, &v.truth.iter().map(|(&s, &c)| (s, c)).collect(), 16, 5);
+        let full = functional_recovery(
+            &d,
+            &v,
+            &v.truth.iter().map(|(&s, &c)| (s, c)).collect(),
+            16,
+            5,
+        );
         let part = functional_recovery(&d, &v, &half, 16, 5);
         assert!(part <= full + 1e-12);
     }

@@ -77,8 +77,16 @@ pub fn train(designs: &[PreparedDesign], config: &AttackConfig) -> (TrainedAttac
             "image channel mismatch across designs"
         );
     }
-    let kind = if config.use_images { ModelKind::VecImg } else { ModelKind::VecOnly };
-    let loss_kind = if config.two_class { LossKind::TwoClass } else { LossKind::SoftmaxRegression };
+    let kind = if config.use_images {
+        ModelKind::VecImg
+    } else {
+        ModelKind::VecOnly
+    };
+    let loss_kind = if config.two_class {
+        LossKind::TwoClass
+    } else {
+        LossKind::SoftmaxRegression
+    };
     let mut model = AttackModel::new(kind, loss_kind, channels, config.seed);
 
     // Trainable query index: (design, query).
@@ -151,11 +159,17 @@ pub fn train(designs: &[PreparedDesign], config: &AttackConfig) -> (TrainedAttac
             epoch_loss += batch_loss;
             steps += count;
         }
-        report.epoch_loss.push((epoch_loss / steps.max(1) as f64) as f32);
+        report
+            .epoch_loss
+            .push((epoch_loss / steps.max(1) as f64) as f32);
     }
 
     (
-        TrainedAttack { model, normalizer, config: config.clone() },
+        TrainedAttack {
+            model,
+            normalizer,
+            config: config.clone(),
+        },
         report,
     )
 }
@@ -191,7 +205,10 @@ mod tests {
     #[test]
     fn training_loss_decreases_vec_only() {
         let config = tiny_config(false);
-        let designs = vec![prepared(Benchmark::C432, 1, &config), prepared(Benchmark::C880, 2, &config)];
+        let designs = vec![
+            prepared(Benchmark::C432, 1, &config),
+            prepared(Benchmark::C880, 2, &config),
+        ];
         let (trained, report) = train(&designs, &config);
         assert_eq!(report.epoch_loss.len(), 3);
         assert!(
@@ -214,7 +231,10 @@ mod tests {
 
     #[test]
     fn two_class_training_runs() {
-        let config = AttackConfig { two_class: true, ..tiny_config(false) };
+        let config = AttackConfig {
+            two_class: true,
+            ..tiny_config(false)
+        };
         let designs = vec![prepared(Benchmark::C432, 1, &config)];
         let (trained, report) = train(&designs, &config);
         assert_eq!(trained.model.loss, LossKind::TwoClass);
@@ -223,7 +243,10 @@ mod tests {
 
     #[test]
     fn serialization_round_trip() {
-        let config = AttackConfig { epochs: 1, ..tiny_config(false) };
+        let config = AttackConfig {
+            epochs: 1,
+            ..tiny_config(false)
+        };
         let designs = vec![prepared(Benchmark::C432, 1, &config)];
         let (trained, _) = train(&designs, &config);
         let json = trained.to_json().unwrap();
@@ -233,7 +256,10 @@ mod tests {
 
     #[test]
     fn training_is_deterministic() {
-        let config = AttackConfig { epochs: 2, ..tiny_config(false) };
+        let config = AttackConfig {
+            epochs: 2,
+            ..tiny_config(false)
+        };
         let designs = vec![prepared(Benchmark::C432, 1, &config)];
         let (_, r1) = train(&designs, &config);
         let (_, r2) = train(&designs, &config);

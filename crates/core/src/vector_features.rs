@@ -126,18 +126,24 @@ impl Normalizer {
             let var = (sq[i] / n - mean[i] * mean[i]).max(0.0);
             std[i] = if var > 1e-12 { var.sqrt() as f32 } else { 1.0 };
         }
-        Normalizer { mean: mean.into_iter().map(|m| m as f32).collect(), std }
+        Normalizer {
+            mean: mean.into_iter().map(|m| m as f32).collect(),
+            std,
+        }
     }
 
     /// Identity normaliser.
     pub fn identity() -> Normalizer {
-        Normalizer { mean: vec![0.0; VECTOR_DIM], std: vec![1.0; VECTOR_DIM] }
+        Normalizer {
+            mean: vec![0.0; VECTOR_DIM],
+            std: vec![1.0; VECTOR_DIM],
+        }
     }
 
     /// Applies the normalisation in place.
     pub fn apply(&self, row: &mut [f32; VECTOR_DIM]) {
-        for i in 0..VECTOR_DIM {
-            row[i] = (row[i] - self.mean[i]) / self.std[i];
+        for (x, (m, s)) in row.iter_mut().zip(self.mean.iter().zip(&self.std)) {
+            *x = (*x - m) / s;
         }
     }
 }
@@ -252,7 +258,10 @@ mod tests {
             count += 1;
         }
         for a in &acc {
-            assert!((a / count as f64).abs() < 1e-3, "mean not ~0 after normalisation");
+            assert!(
+                (a / count as f64).abs() < 1e-3,
+                "mean not ~0 after normalisation"
+            );
         }
     }
 
@@ -261,7 +270,14 @@ mod tests {
         let (d, v) = setup();
         let sets = select_candidates(&v, &AttackConfig::fast());
         let set = sets.iter().find(|s| s.candidates.len() >= 2).unwrap();
-        let t = feature_tensor(&v, set.sink, &set.candidates, &d.netlist, &d.library, &Normalizer::identity());
+        let t = feature_tensor(
+            &v,
+            set.sink,
+            &set.candidates,
+            &d.netlist,
+            &d.library,
+            &Normalizer::identity(),
+        );
         assert_eq!(t.shape(), &[set.candidates.len(), VECTOR_DIM]);
     }
 }

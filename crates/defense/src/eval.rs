@@ -1,0 +1,283 @@
+//! One cell of the attack-vs-defense matrix: implement a benchmark, defend
+//! it, re-train the DL attack on an *equally defended* corpus, and run all
+//! three attackers against the defended victim.
+//!
+//! The adaptive-attacker protocol matters: the DAC'19 threat model grants the
+//! attacker a training database generated "in a similar manner" to the victim
+//! layout, so a defense is only as good as its CCR against a model that has
+//! seen the defense during training. Evaluating a defended layout against an
+//! undefended model would overstate every defense.
+
+use crate::{apply, DefenseConfig, DefenseStats};
+use deepsplit_core::config::AttackConfig;
+use deepsplit_core::dataset::PreparedDesign;
+use deepsplit_core::recover::functional_recovery;
+use deepsplit_core::{attack, train};
+use deepsplit_flow::attack::{network_flow_attack, FlowAttackConfig, FlowOutcome};
+use deepsplit_flow::metrics::ccr;
+use deepsplit_flow::proximity::proximity_attack;
+use deepsplit_layout::design::{Design, ImplementConfig};
+use deepsplit_layout::geom::Layer;
+use deepsplit_netlist::benchmarks::{self, Benchmark};
+use deepsplit_netlist::library::CellLibrary;
+use serde::{Deserialize, Serialize};
+
+/// Evaluation-protocol configuration shared by every matrix cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// DL attack settings (images, candidates, epochs, …).
+    pub attack: AttackConfig,
+    /// Physical-implementation settings for victim and corpus layouts.
+    pub implement: ImplementConfig,
+    /// Network-flow baseline settings.
+    pub flow: FlowAttackConfig,
+    /// Corpus benchmarks the attack re-trains on (a benchmark equal to the
+    /// victim is skipped — the attacker trains on *other* designs).
+    pub train_benchmarks: Vec<Benchmark>,
+    /// Generator scale factor for all layouts.
+    pub scale: f64,
+    /// Seed base for corpus layouts (corpus design `i` uses `train_seed + i`).
+    pub train_seed: u64,
+    /// Seed for the victim layout (distinct from every corpus seed).
+    pub victim_seed: u64,
+    /// Per-corpus-design cap on training queries.
+    pub train_query_cap: usize,
+    /// Random-simulation rounds for functional recovery.
+    pub recovery_rounds: usize,
+}
+
+impl EvalConfig {
+    /// CPU-friendly protocol: vector features only, small corpus, scaled-down
+    /// layouts. The defense ordering this produces matches the full protocol;
+    /// absolute CCRs are a few points below the image model's.
+    pub fn fast() -> EvalConfig {
+        EvalConfig {
+            attack: AttackConfig {
+                use_images: false,
+                candidates: 12,
+                epochs: 10,
+                batch_size: 16,
+                ..AttackConfig::fast()
+            },
+            implement: ImplementConfig::default(),
+            flow: FlowAttackConfig::default(),
+            train_benchmarks: vec![Benchmark::C880, Benchmark::C1355],
+            scale: 0.5,
+            train_seed: 7101,
+            victim_seed: 9202,
+            train_query_cap: 250,
+            recovery_rounds: 16,
+        }
+    }
+}
+
+/// The attacker-side numbers of one defended (or baseline) layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackScores {
+    /// Broken sink fragments (`#Sk`).
+    pub sink_fragments: usize,
+    /// Source fragments offered to the matching (`#Sc`, including any decoys).
+    pub source_fragments: usize,
+    /// DL attack CCR in `[0, 1]`.
+    pub dl_ccr: f64,
+    /// Network-flow CCR; `None` = timed out.
+    pub flow_ccr: Option<f64>,
+    /// Naïve proximity CCR.
+    pub proximity_ccr: f64,
+    /// Random-guess CCR floor (`1 / #Sc`).
+    pub chance_ccr: f64,
+    /// Functional agreement of the netlist rebuilt from the DL assignment.
+    pub recovery: f64,
+}
+
+/// One matrix cell: what the defense cost and what every attacker scored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Victim benchmark name.
+    pub benchmark: String,
+    /// Split layer (`3` = split after M3).
+    pub split_layer: u8,
+    /// Defense ledger (kind, strength, swaps/lifts/decoys, PPA overhead).
+    pub defense: DefenseStats,
+    /// Attack results against the defended victim.
+    pub scores: AttackScores,
+}
+
+/// The defense-independent base implementations shared by every matrix cell
+/// of one victim benchmark: the undefended victim layout and the attacker's
+/// undefended corpus layouts. Place-and-route dominates cell cost, so the
+/// sweep builds one of these per benchmark instead of re-implementing the
+/// same layouts for every defense × strength × layer cell.
+#[derive(Debug, Clone)]
+pub struct EvalBase {
+    /// Victim benchmark.
+    pub benchmark: Benchmark,
+    /// Undefended victim implementation.
+    pub victim: Design,
+    /// Undefended corpus implementations (victim benchmark excluded).
+    pub corpus: Vec<Design>,
+}
+
+impl EvalBase {
+    /// Implements the victim and corpus layouts once under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.train_benchmarks` leaves an empty corpus after
+    /// excluding the victim benchmark — the adaptive attacker needs
+    /// something to train on.
+    pub fn build(bench: Benchmark, cfg: &EvalConfig) -> EvalBase {
+        let lib = CellLibrary::nangate45();
+        let victim_nl = benchmarks::generate_with(bench, cfg.scale, cfg.victim_seed, &lib);
+        let victim = Design::implement(victim_nl, lib.clone(), &cfg.implement);
+        let corpus: Vec<Design> = cfg
+            .train_benchmarks
+            .iter()
+            .filter(|&&tb| tb != bench)
+            .enumerate()
+            .map(|(i, &tb)| {
+                let nl = benchmarks::generate_with(tb, cfg.scale, cfg.train_seed + i as u64, &lib);
+                Design::implement(nl, lib.clone(), &cfg.implement)
+            })
+            .collect();
+        assert!(
+            !corpus.is_empty(),
+            "empty training corpus: train_benchmarks must contain a benchmark other than the victim"
+        );
+        EvalBase {
+            benchmark: bench,
+            victim,
+            corpus,
+        }
+    }
+}
+
+/// Evaluates one `(benchmark, split layer, defense)` cell under `cfg`,
+/// implementing the base layouts from scratch. Sweeps over many cells of the
+/// same benchmark should build an [`EvalBase`] once and call
+/// [`evaluate_base`] instead.
+///
+/// # Panics
+///
+/// Panics as [`EvalBase::build`] does.
+pub fn evaluate(
+    bench: Benchmark,
+    split_layer: Layer,
+    defense: &DefenseConfig,
+    cfg: &EvalConfig,
+) -> EvalOutcome {
+    evaluate_base(&EvalBase::build(bench, cfg), split_layer, defense, cfg)
+}
+
+/// Evaluates one cell against pre-implemented base layouts.
+pub fn evaluate_base(
+    base: &EvalBase,
+    split_layer: Layer,
+    defense: &DefenseConfig,
+    cfg: &EvalConfig,
+) -> EvalOutcome {
+    let defended = apply(&base.victim, &cfg.implement, split_layer, defense);
+
+    // Adaptive attacker: the training corpus carries the same defense.
+    let corpus: Vec<PreparedDesign> = base
+        .corpus
+        .iter()
+        .map(|d| {
+            let dd = apply(d, &cfg.implement, split_layer, defense);
+            let mut p = PreparedDesign::prepare(&dd.design, split_layer, &cfg.attack);
+            p.truncate_queries(cfg.train_query_cap, cfg.train_seed);
+            p
+        })
+        .collect();
+    let (trained, _) = train::train(&corpus, &cfg.attack);
+
+    let victim = PreparedDesign::prepare(&defended.design, split_layer, &cfg.attack);
+    let outcome = attack::attack(&trained, &victim);
+    let dl_ccr = ccr(&victim.view, &outcome.assignment);
+
+    let proximity_ccr = ccr(&victim.view, &proximity_attack(&victim.view));
+    let flow_ccr = match network_flow_attack(
+        &victim.view,
+        &defended.design.netlist,
+        &defended.design.library,
+        &cfg.flow,
+    ) {
+        FlowOutcome::Completed(a) => Some(ccr(&victim.view, &a)),
+        FlowOutcome::TimedOut => None,
+    };
+    let recovery = functional_recovery(
+        &defended.design,
+        &victim.view,
+        &outcome.assignment,
+        cfg.recovery_rounds,
+        cfg.victim_seed,
+    );
+
+    EvalOutcome {
+        benchmark: base.benchmark.name().to_string(),
+        split_layer: split_layer.0,
+        defense: defended.stats,
+        scores: AttackScores {
+            sink_fragments: victim.view.num_sink_fragments(),
+            source_fragments: victim.view.num_source_fragments(),
+            dl_ccr,
+            flow_ccr,
+            proximity_ccr,
+            chance_ccr: 1.0 / victim.view.num_source_fragments().max(1) as f64,
+            recovery,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DefenseKind;
+
+    fn tiny() -> EvalConfig {
+        EvalConfig {
+            attack: AttackConfig {
+                use_images: false,
+                candidates: 8,
+                epochs: 6,
+                batch_size: 16,
+                threads: 2,
+                ..AttackConfig::fast()
+            },
+            scale: 0.4,
+            train_benchmarks: vec![Benchmark::C880],
+            recovery_rounds: 8,
+            ..EvalConfig::fast()
+        }
+    }
+
+    #[test]
+    fn baseline_cell_reports_consistent_scores() {
+        let out = evaluate(Benchmark::C432, Layer(3), &DefenseConfig::none(), &tiny());
+        assert_eq!(out.benchmark, "c432");
+        assert_eq!(out.split_layer, 3);
+        assert_eq!(out.defense.kind, DefenseKind::None);
+        assert_eq!(out.defense.cost_overhead_pct(), 0.0);
+        let s = &out.scores;
+        assert!(s.sink_fragments > 0 && s.source_fragments > 0);
+        for v in [s.dl_ccr, s.proximity_ccr, s.chance_ccr, s.recovery] {
+            assert!((0.0..=1.0).contains(&v), "score {v} outside [0, 1]");
+        }
+        if let Some(f) = s.flow_ccr {
+            assert!((0.0..=1.0).contains(&f));
+        }
+        // The trained attack must beat chance on an undefended layout.
+        assert!(s.dl_ccr > 2.0 * s.chance_ccr);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training corpus")]
+    fn victim_benchmark_is_excluded_from_corpus() {
+        // Training on the victim itself would leak, so the victim is dropped
+        // from the corpus — leaving nothing here, which must fail loudly
+        // rather than silently train on the layout under attack.
+        let mut cfg = tiny();
+        cfg.train_benchmarks = vec![Benchmark::C432];
+        evaluate(Benchmark::C432, Layer(3), &DefenseConfig::none(), &cfg);
+    }
+}

@@ -1,0 +1,245 @@
+//! The defense × strength × benchmark × split-layer matrix, fanned out over
+//! worker threads with `deepsplit_nn::parallel::parallel_map`.
+//!
+//! Each cell defends the victim, re-trains the DL attack on an equally
+//! defended corpus and runs all three attackers — cells are fully independent
+//! and embarrassingly parallel, so the sweep parallelises across cells and
+//! forces each cell's inner attack to a single thread (fan-out × fan-in
+//! oversubscription would otherwise thrash the core count). The undefended
+//! base implementations are shared: one [`EvalBase`] per benchmark, not one
+//! place-and-route per cell.
+
+use crate::eval::{evaluate_base, EvalBase, EvalConfig, EvalOutcome};
+use crate::{DefenseConfig, DefenseKind};
+use deepsplit_layout::geom::Layer;
+use deepsplit_netlist::benchmarks::Benchmark;
+use deepsplit_nn::parallel::{default_threads, parallel_map};
+use serde::{Deserialize, Serialize};
+
+/// The sweep matrix specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Per-cell evaluation protocol.
+    pub eval: EvalConfig,
+    /// Defenses to sweep. [`DefenseKind::None`] is always evaluated once per
+    /// `(benchmark, layer)` as the baseline row, whether listed or not.
+    pub kinds: Vec<DefenseKind>,
+    /// Strength grid applied to every non-baseline defense.
+    pub strengths: Vec<f64>,
+    /// Victim benchmarks.
+    pub benchmarks: Vec<Benchmark>,
+    /// Split layers.
+    pub split_layers: Vec<Layer>,
+    /// Seed handed to every defense instantiation.
+    pub defense_seed: u64,
+    /// Worker threads across cells (0 = auto).
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// Small default matrix: every defense at two strengths on one benchmark,
+    /// split after M3.
+    pub fn fast() -> SweepConfig {
+        SweepConfig {
+            eval: EvalConfig::fast(),
+            kinds: DefenseKind::all().to_vec(),
+            strengths: vec![0.5, 1.0],
+            benchmarks: vec![Benchmark::C432],
+            split_layers: vec![Layer(3)],
+            defense_seed: 11,
+            threads: 0,
+        }
+    }
+
+    /// The cells this matrix expands to, baseline first per `(bench, layer)`.
+    pub fn cells(&self) -> Vec<(Benchmark, Layer, DefenseConfig)> {
+        let mut cells = Vec::new();
+        for &bench in &self.benchmarks {
+            for &layer in &self.split_layers {
+                cells.push((bench, layer, DefenseConfig::none()));
+                for &kind in self.kinds.iter().filter(|&&k| k != DefenseKind::None) {
+                    for &strength in &self.strengths {
+                        cells.push((
+                            bench,
+                            layer,
+                            DefenseConfig {
+                                kind,
+                                strength,
+                                seed: self.defense_seed,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Runs the matrix; the result order matches [`SweepConfig::cells`] and is
+/// deterministic for a fixed config (worker count does not change results —
+/// `parallel_map` preserves order and every cell pins its inner thread count).
+pub fn sweep(config: &SweepConfig) -> Vec<EvalOutcome> {
+    let cells = config.cells();
+    let threads = if config.threads == 0 {
+        default_threads()
+    } else {
+        config.threads
+    };
+    let mut eval = config.eval.clone();
+    if cells.len() > 1 {
+        eval.attack.threads = 1;
+    }
+    // The undefended base implementations are defense-independent; build them
+    // once per benchmark (in parallel) instead of once per cell.
+    let bases: Vec<EvalBase> = parallel_map(
+        &config.benchmarks,
+        threads.min(config.benchmarks.len().max(1)),
+        |&bench| EvalBase::build(bench, &eval),
+    );
+    parallel_map(
+        &cells,
+        threads.min(cells.len().max(1)),
+        |(bench, layer, defense)| {
+            let base = bases
+                .iter()
+                .find(|b| b.benchmark == *bench)
+                .expect("base built for every benchmark");
+            evaluate_base(base, *layer, defense, &eval)
+        },
+    )
+}
+
+/// The baseline (undefended) cell for `result`'s `(benchmark, layer)` pair.
+pub fn baseline_of<'a>(
+    results: &'a [EvalOutcome],
+    result: &EvalOutcome,
+) -> Option<&'a EvalOutcome> {
+    results.iter().find(|r| {
+        r.defense.kind == DefenseKind::None
+            && r.benchmark == result.benchmark
+            && r.split_layer == result.split_layer
+    })
+}
+
+/// Protection factor of a cell: baseline DL CCR ÷ defended DL CCR (`>= 2.0`
+/// means the defense at least halved the attack; `inf` = driven to zero).
+pub fn protection_factor(results: &[EvalOutcome], result: &EvalOutcome) -> f64 {
+    match baseline_of(results, result) {
+        Some(base) if result.scores.dl_ccr > 0.0 => base.scores.dl_ccr / result.scores.dl_ccr,
+        Some(base) if base.scores.dl_ccr > 0.0 => f64::INFINITY,
+        _ => 1.0,
+    }
+}
+
+/// Renders the matrix as an aligned text table (CCRs in percent, `Δ×` =
+/// protection factor versus the baseline row, `n/a` = flow timeout).
+pub fn render_matrix(results: &[EvalOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8} {:>6} {:>9} {:>5} {:>5} {:>5} {:>8} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
+        "bench",
+        "split",
+        "defense",
+        "str",
+        "#Sk",
+        "#Sc",
+        "DL%",
+        "Δ×",
+        "flow%",
+        "prox%",
+        "recov%",
+        "WL+%",
+        "via+%"
+    ));
+    for r in results {
+        let s = &r.scores;
+        let factor = protection_factor(results, r);
+        let factor = if factor.is_infinite() {
+            "inf".to_string()
+        } else {
+            format!("{factor:.1}")
+        };
+        let flow = s
+            .flow_ccr
+            .map(|f| format!("{:.2}", 100.0 * f))
+            .unwrap_or_else(|| "n/a".to_string());
+        out.push_str(&format!(
+            "{:>8} {:>6} {:>9} {:>5.2} {:>5} {:>5} {:>8.2} {:>6} {:>8} {:>8.2} {:>8.2} {:>7.2} {:>7.2}\n",
+            r.benchmark,
+            format!("M{}", r.split_layer),
+            r.defense.kind.name(),
+            r.defense.strength,
+            s.sink_fragments,
+            s.source_fragments,
+            100.0 * s.dl_ccr,
+            factor,
+            flow,
+            100.0 * s.proximity_ccr,
+            100.0 * s.recovery,
+            r.defense.wirelength_overhead_pct(),
+            r.defense.via_overhead_pct(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_expansion_has_one_baseline_per_pair() {
+        let mut config = SweepConfig::fast();
+        config.benchmarks = vec![Benchmark::C432, Benchmark::C880];
+        config.split_layers = vec![Layer(1), Layer(3)];
+        let cells = config.cells();
+        let baselines = cells
+            .iter()
+            .filter(|(_, _, d)| d.kind == DefenseKind::None)
+            .count();
+        assert_eq!(baselines, 4);
+        // 4 pairs × (1 baseline + 4 defenses × 2 strengths)
+        assert_eq!(cells.len(), 4 * (1 + 4 * 2));
+    }
+
+    #[test]
+    fn render_handles_missing_baseline_and_timeouts() {
+        use super::super::eval::AttackScores;
+        use crate::DefenseStats;
+        let cell = EvalOutcome {
+            benchmark: "c432".into(),
+            split_layer: 3,
+            defense: DefenseStats {
+                kind: DefenseKind::Lift,
+                strength: 1.0,
+                swapped_cells: 0,
+                lifted_nets: 10,
+                decoy_vias: 0,
+                base_wirelength: 1000,
+                defended_wirelength: 990,
+                base_vias: 100,
+                defended_vias: 140,
+                base_beol_wirelength: 500,
+                defended_beol_wirelength: 700,
+            },
+            scores: AttackScores {
+                sink_fragments: 5,
+                source_fragments: 7,
+                dl_ccr: 0.2,
+                flow_ccr: None,
+                proximity_ccr: 0.3,
+                chance_ccr: 1.0 / 7.0,
+                recovery: 0.9,
+            },
+        };
+        let table = render_matrix(std::slice::from_ref(&cell));
+        assert!(
+            table.contains("n/a"),
+            "timeout must render as n/a:\n{table}"
+        );
+        assert!(table.contains("lift"));
+        // No baseline row → neutral protection factor.
+        assert!((protection_factor(std::slice::from_ref(&cell), &cell) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Defense-suite invariants that cut across modules: every defended design
+//! stays structurally valid at every split layer, the strongest defenses
+//! actually blunt the adaptive DL attack while paying measurable PPA, and
+//! the sweep harness is deterministic for a fixed seed.
+
+use deepsplit_core::config::AttackConfig;
+use deepsplit_defense::eval::{evaluate, EvalConfig};
+use deepsplit_defense::sweep::{protection_factor, render_matrix, sweep, SweepConfig};
+use deepsplit_defense::{apply, DefenseConfig, DefenseKind};
+use deepsplit_layout::design::{Design, ImplementConfig};
+use deepsplit_layout::geom::Layer;
+use deepsplit_layout::split::{audit, split_design};
+use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
+use deepsplit_netlist::library::CellLibrary;
+
+fn implement(bench: Benchmark, scale: f64, seed: u64) -> (Design, ImplementConfig) {
+    let lib = CellLibrary::nangate45();
+    let implement = ImplementConfig::default();
+    let nl = generate_with(bench, scale, seed, &lib);
+    (Design::implement(nl, lib, &implement), implement)
+}
+
+fn tiny_eval() -> EvalConfig {
+    EvalConfig {
+        attack: AttackConfig {
+            use_images: false,
+            candidates: 10,
+            epochs: 8,
+            batch_size: 16,
+            threads: 1,
+            ..AttackConfig::fast()
+        },
+        scale: 0.4,
+        train_benchmarks: vec![Benchmark::C880, Benchmark::C1355],
+        recovery_rounds: 8,
+        ..EvalConfig::fast()
+    }
+}
+
+#[test]
+fn defended_designs_stay_valid_at_every_split_layer() {
+    let (design, implement_cfg) = implement(Benchmark::C880, 0.4, 71);
+    for layer in [Layer(1), Layer(2), Layer(3)] {
+        for kind in DefenseKind::all() {
+            let config = DefenseConfig {
+                kind,
+                strength: 1.0,
+                seed: 13,
+            };
+            let defended = apply(&design, &implement_cfg, layer, &config);
+            assert!(
+                defended
+                    .design
+                    .netlist
+                    .validate_with(&defended.design.library)
+                    .is_ok(),
+                "{kind:?} at M{} broke netlist validation",
+                layer.0
+            );
+            let view = split_design(&defended.design, layer);
+            let problems = audit(&view, &defended.design);
+            assert!(
+                problems.is_empty(),
+                "{kind:?} at M{}: {problems:?}",
+                layer.0
+            );
+        }
+    }
+}
+
+#[test]
+fn strongest_lift_at_least_halves_dl_ccr() {
+    let cfg = tiny_eval();
+    let baseline = evaluate(Benchmark::C432, Layer(3), &DefenseConfig::none(), &cfg);
+    let lifted = evaluate(
+        Benchmark::C432,
+        Layer(3),
+        &DefenseConfig {
+            kind: DefenseKind::Lift,
+            strength: 1.0,
+            seed: 11,
+        },
+        &cfg,
+    );
+    assert!(
+        lifted.scores.dl_ccr <= baseline.scores.dl_ccr / 2.0,
+        "full lifting must at least halve DL CCR: {:.4} -> {:.4}",
+        baseline.scores.dl_ccr,
+        lifted.scores.dl_ccr
+    );
+    assert!(lifted.defense.lifted_nets > 0);
+    // Lifting pays in scarce above-split track supply (raw via counts can
+    // drop once ladder escapes vanish, so BEOL usage is the honest witness).
+    assert!(lifted.defense.beol_overhead_pct() > 0.0);
+}
+
+#[test]
+fn strongest_combined_defense_nears_chance_and_costs_wirelength() {
+    let cfg = tiny_eval();
+    let baseline = evaluate(Benchmark::C432, Layer(3), &DefenseConfig::none(), &cfg);
+    let combined = evaluate(
+        Benchmark::C432,
+        Layer(3),
+        &DefenseConfig {
+            kind: DefenseKind::Combined,
+            strength: 1.0,
+            seed: 11,
+        },
+        &cfg,
+    );
+    assert!(
+        combined.scores.dl_ccr < baseline.scores.dl_ccr,
+        "combined defense must hurt the attack: {:.4} -> {:.4}",
+        baseline.scores.dl_ccr,
+        combined.scores.dl_ccr
+    );
+    // "Toward chance": within a small factor of the random-guess floor, far
+    // below the undefended CCR.
+    assert!(
+        combined.scores.dl_ccr
+            <= (8.0 * combined.scores.chance_ccr).max(baseline.scores.dl_ccr / 2.0),
+        "combined DL CCR {:.4} not near chance {:.4}",
+        combined.scores.dl_ccr,
+        combined.scores.chance_ccr
+    );
+    assert!(
+        combined.defense.wirelength_overhead_pct() > 0.0,
+        "a perturbed + decoyed layout must report nonzero wirelength overhead"
+    );
+    // Functional recovery must not exceed the baseline attack's.
+    assert!(combined.scores.recovery <= baseline.scores.recovery + 1e-9);
+}
+
+#[test]
+fn sweep_is_deterministic_for_a_fixed_seed() {
+    let mut config = SweepConfig::fast();
+    config.eval = tiny_eval();
+    config.kinds = vec![DefenseKind::Lift, DefenseKind::Decoy];
+    config.strengths = vec![1.0];
+    config.benchmarks = vec![Benchmark::C432];
+    config.split_layers = vec![Layer(3)];
+
+    let a = sweep(&config);
+    let b = sweep(&config);
+    assert_eq!(a, b, "sweep must be bit-identical for a fixed config");
+    assert_eq!(render_matrix(&a), render_matrix(&b));
+
+    // Baseline row first, then one row per (kind, strength).
+    assert_eq!(a.len(), 3);
+    assert_eq!(a[0].defense.kind, DefenseKind::None);
+    for r in &a {
+        let f = protection_factor(&a, r);
+        assert!(f >= 0.0, "protection factor {f} must be non-negative");
+    }
+}

@@ -210,11 +210,7 @@ pub fn network_flow_attack(
 /// effectively unlimited capacitance slack the flow attack must produce the
 /// same assignment as [`proximity_attack`] for every sink whose nearest
 /// source is among its candidates.
-pub fn relaxed_flow_equals_proximity(
-    view: &SplitView,
-    nl: &Netlist,
-    lib: &CellLibrary,
-) -> bool {
+pub fn relaxed_flow_equals_proximity(view: &SplitView, nl: &Netlist, lib: &CellLibrary) -> bool {
     let relaxed = FlowAttackConfig {
         cap_slack: 1e6,
         max_iterations: 1,
@@ -291,7 +287,10 @@ mod tests {
     #[test]
     fn strict_caps_respect_budgets() {
         let (d, v) = setup(Benchmark::C432, 0.5, 1);
-        let config = FlowAttackConfig { cap_slack: 0.0, ..FlowAttackConfig::default() };
+        let config = FlowAttackConfig {
+            cap_slack: 0.0,
+            ..FlowAttackConfig::default()
+        };
         let out = network_flow_attack(&v, &d.netlist, &d.library, &config);
         let a = out.assignment().unwrap();
         // Each source's assigned demand should not wildly exceed its budget

@@ -43,7 +43,9 @@ pub struct MinCostFlow {
 impl MinCostFlow {
     /// Creates an instance with `n` nodes.
     pub fn new(n: usize) -> MinCostFlow {
-        MinCostFlow { graph: vec![Vec::new(); n] }
+        MinCostFlow {
+            graph: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -60,11 +62,24 @@ impl MinCostFlow {
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> (usize, usize) {
         assert!(cost >= 0, "costs must be non-negative for Dijkstra");
         assert!(cap >= 0, "capacity must be non-negative");
-        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "node out of range"
+        );
         let fwd = self.graph[from].len() as u32;
         let bwd = self.graph[to].len() as u32;
-        self.graph[from].push(Edge { to: to as u32, rev: bwd, cap, cost });
-        self.graph[to].push(Edge { to: from as u32, rev: fwd, cap: 0, cost: -cost });
+        self.graph[from].push(Edge {
+            to: to as u32,
+            rev: bwd,
+            cap,
+            cost,
+        });
+        self.graph[to].push(Edge {
+            to: from as u32,
+            rev: fwd,
+            cap: 0,
+            cost: -cost,
+        });
         (from, fwd as usize)
     }
 
@@ -116,7 +131,10 @@ impl MinCostFlow {
                     }
                     let v = e.to as usize;
                     let nd = d + e.cost + potential[u] - potential[v];
-                    debug_assert!(e.cost + potential[u] - potential[v] >= 0, "reduced cost negative");
+                    debug_assert!(
+                        e.cost + potential[u] - potential[v] >= 0,
+                        "reduced cost negative"
+                    );
                     if nd < dist[v] {
                         dist[v] = nd;
                         prev[v] = (u as u32, ei as u32);

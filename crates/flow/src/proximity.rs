@@ -31,7 +31,10 @@ impl SpatialGrid {
         let mut buckets: HashMap<(i64, i64), Vec<(Point, u32)>> = HashMap::new();
         let mut len = 0;
         for (p, id) in points {
-            buckets.entry((p.x.div_euclid(cell), p.y.div_euclid(cell))).or_default().push((p, id));
+            buckets
+                .entry((p.x.div_euclid(cell), p.y.div_euclid(cell)))
+                .or_default()
+                .push((p, id));
             len += 1;
         }
         SpatialGrid { cell, buckets, len }
@@ -195,7 +198,12 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let pts: Vec<(Point, u32)> = (0..200)
-            .map(|i| (Point::new(rng.gen_range(0..100_000), rng.gen_range(0..100_000)), i))
+            .map(|i| {
+                (
+                    Point::new(rng.gen_range(0..100_000), rng.gen_range(0..100_000)),
+                    i,
+                )
+            })
             .collect();
         let grid = SpatialGrid::build(pts.iter().copied(), 7000);
         for _ in 0..50 {
@@ -260,7 +268,10 @@ mod tests {
         let cands = candidate_sources(&v, 8);
         for (sink, src) in prox {
             let c = &cands[&sink];
-            assert!(c.iter().any(|&(s, _)| s == src), "nearest source missing from candidates");
+            assert!(
+                c.iter().any(|&(s, _)| s == src),
+                "nearest source missing from candidates"
+            );
         }
     }
 }

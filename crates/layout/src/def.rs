@@ -20,13 +20,23 @@ pub fn write_def(design: &Design) -> String {
     let _ = writeln!(s, "DESIGN {} ;", nl.name);
     let _ = writeln!(s, "UNITS DISTANCE MICRONS 1000 ;");
     let die = design.floorplan.die;
-    let _ = writeln!(s, "DIEAREA ( {} {} ) ( {} {} ) ;", die.lo.x, die.lo.y, die.hi.x, die.hi.y);
+    let _ = writeln!(
+        s,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        die.lo.x, die.lo.y, die.hi.x, die.hi.y
+    );
 
     let comps: Vec<String> = nl
         .instances()
         .map(|(id, inst)| {
             let o = design.placement.origins[id.0 as usize];
-            format!("- {} {} + PLACED ( {} {} ) N ;", inst.name, lib.cell(inst.cell).name, o.x, o.y)
+            format!(
+                "- {} {} + PLACED ( {} {} ) N ;",
+                inst.name,
+                lib.cell(inst.cell).name,
+                o.x,
+                o.y
+            )
         })
         .collect();
     let _ = writeln!(s, "COMPONENTS {} ;", comps.len());
@@ -57,7 +67,14 @@ pub fn write_def(design: &Design) -> String {
             );
         }
         for via in &route.vias {
-            let _ = writeln!(s, "  + VIA V{}{} ( {} {} )", via.lower.0, via.lower.0 + 1, via.at.x, via.at.y);
+            let _ = writeln!(
+                s,
+                "  + VIA V{}{} ( {} {} )",
+                via.lower.0,
+                via.lower.0 + 1,
+                via.at.x,
+                via.at.y
+            );
         }
         let _ = writeln!(s, "  ;");
     }
@@ -74,7 +91,11 @@ pub fn write_feol_def(view: &SplitView, design_name: &str) -> String {
     let _ = writeln!(s, "DESIGN {design_name}_feol_m{} ;", view.split_layer.0);
     let _ = writeln!(s, "UNITS DISTANCE MICRONS 1000 ;");
     let die = view.die;
-    let _ = writeln!(s, "DIEAREA ( {} {} ) ( {} {} ) ;", die.lo.x, die.lo.y, die.hi.x, die.hi.y);
+    let _ = writeln!(
+        s,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        die.lo.x, die.lo.y, die.hi.x, die.hi.y
+    );
     let broken: Vec<_> = view
         .fragments
         .iter()
@@ -93,7 +114,14 @@ pub fn write_feol_def(view: &SplitView, design_name: &str) -> String {
             );
         }
         for via in &frag.vias {
-            let _ = writeln!(s, "  + VIA V{}{} ( {} {} )", via.lower.0, via.lower.0 + 1, via.at.x, via.at.y);
+            let _ = writeln!(
+                s,
+                "  + VIA V{}{} ( {} {} )",
+                via.lower.0,
+                via.lower.0 + 1,
+                via.at.x,
+                via.at.y
+            );
         }
         for vp in &frag.virtual_pins {
             let Layer(m) = view.split_layer;

@@ -81,9 +81,11 @@ impl Design {
     /// assert!(design.total_wirelength() > 0);
     /// ```
     pub fn implement(netlist: Netlist, library: CellLibrary, config: &ImplementConfig) -> Design {
-        let floorplan = Floorplan::for_netlist(&netlist, &library, config.utilization, config.aspect);
+        let floorplan =
+            Floorplan::for_netlist(&netlist, &library, config.utilization, config.aspect);
         let placement = place::place(&netlist, &library, &floorplan, &config.placer);
-        let (routes, route_stats) = route::route(&netlist, &library, &floorplan, &placement, &config.router);
+        let (routes, route_stats) =
+            route::route(&netlist, &library, &floorplan, &placement, &config.router);
         Design {
             netlist,
             library,
@@ -96,7 +98,14 @@ impl Design {
 
     /// Location of a pin in the layout.
     pub fn pin_position(&self, inst: InstId, pin: u8) -> Point {
-        place::pin_position(&self.netlist, &self.library, &self.floorplan, &self.placement, inst, pin)
+        place::pin_position(
+            &self.netlist,
+            &self.library,
+            &self.floorplan,
+            &self.placement,
+            inst,
+            pin,
+        )
     }
 
     /// Total routed wirelength in dbu.
@@ -106,7 +115,12 @@ impl Design {
 
     /// Half-perimeter wirelength of the placement in dbu.
     pub fn hpwl(&self) -> i64 {
-        place::hpwl(&self.netlist, &self.library, &self.floorplan, &self.placement)
+        place::hpwl(
+            &self.netlist,
+            &self.library,
+            &self.floorplan,
+            &self.placement,
+        )
     }
 
     /// Number of metal layers in the stack.

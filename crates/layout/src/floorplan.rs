@@ -30,8 +30,16 @@ impl Floorplan {
     /// # Panics
     ///
     /// Panics if `utilization` is not within `(0, 1]`.
-    pub fn for_netlist(nl: &Netlist, lib: &CellLibrary, utilization: f64, aspect: f64) -> Floorplan {
-        assert!(utilization > 0.0 && utilization <= 1.0, "utilization in (0,1]");
+    pub fn for_netlist(
+        nl: &Netlist,
+        lib: &CellLibrary,
+        utilization: f64,
+        aspect: f64,
+    ) -> Floorplan {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization in (0,1]"
+        );
         let row_height = um(lib.row_height_um);
         let site_width = um(lib.site_width_um);
         let mut cell_area = 0.0f64; // µm²
@@ -42,7 +50,8 @@ impl Floorplan {
             }
             cell_area += spec.width_um(lib) * lib.row_height_um;
         }
-        let core_area_um2 = (cell_area / utilization).max(4.0 * lib.row_height_um * lib.row_height_um);
+        let core_area_um2 =
+            (cell_area / utilization).max(4.0 * lib.row_height_um * lib.row_height_um);
         let core_w_um = (core_area_um2 / aspect).sqrt();
         let core_h_um = core_w_um * aspect;
         // Round to whole rows/sites.
@@ -52,8 +61,14 @@ impl Floorplan {
         let core_h = num_rows as i64 * row_height;
         // Pad ring margin of one row height on each side.
         let margin = row_height;
-        let core = Rect::new(Point::new(margin, margin), Point::new(margin + core_w, margin + core_h));
-        let die = Rect::new(Point::new(0, 0), Point::new(core.hi.x + margin, core.hi.y + margin));
+        let core = Rect::new(
+            Point::new(margin, margin),
+            Point::new(margin + core_w, margin + core_h),
+        );
+        let die = Rect::new(
+            Point::new(0, 0),
+            Point::new(core.hi.x + margin, core.hi.y + margin),
+        );
         Floorplan {
             die,
             core,
@@ -90,7 +105,10 @@ mod tests {
             .filter(|(_, i)| !lib.cell(i.cell).function.is_pad())
             .map(|(_, i)| lib.cell(i.cell).width_sites as usize)
             .sum();
-        assert!(fp.capacity_sites() >= total_sites, "core must fit all cells");
+        assert!(
+            fp.capacity_sites() >= total_sites,
+            "core must fit all cells"
+        );
     }
 
     #[test]

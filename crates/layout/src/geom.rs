@@ -79,7 +79,9 @@ impl fmt::Display for Layer {
 }
 
 /// A point in dbu.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct Point {
     /// x coordinate in dbu.
     pub x: i64,
@@ -212,7 +214,9 @@ impl Segment {
     /// Whether `p` lies on the segment (same layer not checked).
     pub fn contains_point(&self, p: Point) -> bool {
         let r = Rect::new(self.a, self.b);
-        r.contains(p) && (self.a.x == self.b.x || p.y == self.a.y) && (self.a.y == self.b.y || p.x == self.a.x)
+        r.contains(p)
+            && (self.a.x == self.b.x || p.y == self.a.y)
+            && (self.a.y == self.b.y || p.x == self.a.x)
     }
 }
 

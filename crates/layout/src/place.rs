@@ -81,7 +81,12 @@ pub fn pin_position(
     // Pins spread evenly across the cell width, alternating between 1/3 and
     // 2/3 of the row height (approximating real pin shapes).
     let x = o.x + w * (pin as i64 + 1) / (n + 1);
-    let y = o.y + if pin.is_multiple_of(2) { fp.row_height / 3 } else { 2 * fp.row_height / 3 };
+    let y = o.y
+        + if pin.is_multiple_of(2) {
+            fp.row_height / 3
+        } else {
+            2 * fp.row_height / 3
+        };
     Point::new(x, y)
 }
 
@@ -93,7 +98,7 @@ pub fn pin_position(
 /// [`Floorplan::capacity_sites`]).
 pub fn place(nl: &Netlist, lib: &CellLibrary, fp: &Floorplan, config: &PlacerConfig) -> Placement {
     let n = nl.num_instances();
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x91ac_e5);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0091_ace5);
     let mut pos: Vec<(f64, f64)> = Vec::with_capacity(n);
     let mut is_pad = vec![false; n];
 
@@ -115,8 +120,8 @@ pub fn place(nl: &Netlist, lib: &CellLibrary, fp: &Floorplan, config: &PlacerCon
     }
 
     // Initial random positions for core cells; fixed perimeter slots for pads.
-    for i in 0..n {
-        if is_pad[i] {
+    for &pad in &is_pad {
+        if pad {
             pos.push((0.0, 0.0)); // set below
         } else {
             let x = fp.core.lo.x as f64 + rng.gen::<f64>() * fp.core.width() as f64;
@@ -186,8 +191,12 @@ pub fn place(nl: &Netlist, lib: &CellLibrary, fp: &Floorplan, config: &PlacerCon
             let d = config.damping;
             pos[i].0 = (1.0 - d) * pos[i].0 + d * tx + rng.gen_range(-jitter..=jitter);
             pos[i].1 = (1.0 - d) * pos[i].1 + d * ty + rng.gen_range(-jitter..=jitter);
-            pos[i].0 = pos[i].0.clamp(fp.core.lo.x as f64, fp.core.hi.x as f64 - 1.0);
-            pos[i].1 = pos[i].1.clamp(fp.core.lo.y as f64, fp.core.hi.y as f64 - 1.0);
+            pos[i].0 = pos[i]
+                .0
+                .clamp(fp.core.lo.x as f64, fp.core.hi.x as f64 - 1.0);
+            pos[i].1 = pos[i]
+                .1
+                .clamp(fp.core.lo.y as f64, fp.core.hi.y as f64 - 1.0);
         }
     }
 
@@ -249,7 +258,12 @@ fn legalize(
 ) -> Placement {
     let n = nl.num_instances();
     let mut order: Vec<usize> = (0..n).filter(|&i| !is_pad[i]).collect();
-    order.sort_by(|&a, &b| pos[a].1.total_cmp(&pos[b].1).then(pos[a].0.total_cmp(&pos[b].0)));
+    order.sort_by(|&a, &b| {
+        pos[a]
+            .1
+            .total_cmp(&pos[b].1)
+            .then(pos[a].0.total_cmp(&pos[b].0))
+    });
 
     let row_capacity = fp.sites_per_row;
     let total_sites: usize = order
@@ -425,7 +439,11 @@ fn anneal(
         if wa != wb {
             continue;
         }
-        let affected: Vec<u32> = nets_of[a].iter().chain(nets_of[b].iter()).copied().collect();
+        let affected: Vec<u32> = nets_of[a]
+            .iter()
+            .chain(nets_of[b].iter())
+            .copied()
+            .collect();
         let before: i64 = affected.iter().map(|&nid| net_hpwl(placement, nid)).sum();
         placement.origins.swap(a, b);
         placement.rows.swap(a, b);
@@ -464,8 +482,14 @@ mod tests {
             }
             let o = p.origins[id.0 as usize];
             let w = lib.cell(inst.cell).width_sites as i64 * fp.site_width;
-            assert!(o.x >= fp.core.lo.x && o.x + w <= fp.core.hi.x, "cell in core x");
-            by_row.entry(p.rows[id.0 as usize]).or_default().push((o.x, o.x + w));
+            assert!(
+                o.x >= fp.core.lo.x && o.x + w <= fp.core.hi.x,
+                "cell in core x"
+            );
+            by_row
+                .entry(p.rows[id.0 as usize])
+                .or_default()
+                .push((o.x, o.x + w));
         }
         for (_, mut spans) in by_row {
             spans.sort();
@@ -483,7 +507,11 @@ mod tests {
             &nl,
             &lib,
             &fp,
-            &PlacerConfig { iterations: 0, anneal_moves_per_cell: 0, ..Default::default() },
+            &PlacerConfig {
+                iterations: 0,
+                anneal_moves_per_cell: 0,
+                ..Default::default()
+            },
         );
         let h_good = hpwl(&nl, &lib, &fp, &good);
         let h_bad = hpwl(&nl, &lib, &fp, &bad);
@@ -527,7 +555,10 @@ mod tests {
             for pin in 0..spec.pins.len() {
                 let pt = pin_position(&nl, &lib, &fp, &p, id, pin as u8);
                 assert!(pt.x >= o.x && pt.x <= o.x + w, "pin x inside cell");
-                assert!(pt.y >= o.y && pt.y <= o.y + fp.row_height, "pin y inside cell");
+                assert!(
+                    pt.y >= o.y && pt.y <= o.y + fp.row_height,
+                    "pin y inside cell"
+                );
             }
         }
     }

@@ -124,7 +124,10 @@ impl Occupancy {
     }
 
     fn insert(&mut self, layer: u8, coord: i64, lo: i64, hi: i64) {
-        self.map.entry((layer, coord)).or_default().push((lo.min(hi), lo.max(hi)));
+        self.map
+            .entry((layer, coord))
+            .or_default()
+            .push((lo.min(hi), lo.max(hi)));
     }
 }
 
@@ -142,6 +145,24 @@ pub fn route(
     fp: &Floorplan,
     placement: &Placement,
     config: &RouterConfig,
+) -> (Vec<NetRoute>, RouteStats) {
+    route_with(nl, lib, fp, placement, config, |_| None)
+}
+
+/// Like [`route`], but `net_override` may supply a per-net [`RouterConfig`]
+/// (returning `None` keeps the base config). This is the hook targeted
+/// defenses use to re-implement selected nets — e.g. wire lifting promotes a
+/// net's trunks above the split layer with zero escape fraction.
+///
+/// Overrides share the base occupancy map and must not use more layers than
+/// `config.num_layers` (statistics vectors are sized by the base config).
+pub fn route_with(
+    nl: &Netlist,
+    lib: &CellLibrary,
+    fp: &Floorplan,
+    placement: &Placement,
+    config: &RouterConfig,
+    net_override: impl Fn(NetId) -> Option<RouterConfig>,
 ) -> (Vec<NetRoute>, RouteStats) {
     let mut occ = Occupancy::default();
     let mut routes = vec![NetRoute::default(); nl.num_nets()];
@@ -176,15 +197,43 @@ pub fn route(
         if pts.len() < 2 {
             continue;
         }
+        let override_config = net_override(nid);
+        let net_config = override_config.as_ref().unwrap_or(config);
+        assert!(
+            net_config.num_layers <= config.num_layers,
+            "per-net override must not add layers"
+        );
         let edges = mst_edges(&pts);
         let mut route_acc = NetRoute::default();
         for (i, j) in edges {
-            route_two_pin(pts[i], pts[j], config, &mut occ, &mut route_acc, &mut stats);
+            route_two_pin(
+                pts[i],
+                pts[j],
+                net_config,
+                &mut occ,
+                &mut route_acc,
+                &mut stats,
+            );
         }
         routes[nid.0 as usize] = route_acc;
     }
 
-    for r in &routes {
+    let geometry = recompute_stats(&routes, config.num_layers);
+    stats.wirelength_per_layer = geometry.wirelength_per_layer;
+    stats.vias_per_cut = geometry.vias_per_cut;
+    (routes, stats)
+}
+
+/// Rebuilds the geometry statistics of a set of routes (used after a defense
+/// edits routes in place; `overflows` is not derivable from geometry and is
+/// left at zero).
+pub fn recompute_stats(routes: &[NetRoute], num_layers: u8) -> RouteStats {
+    let mut stats = RouteStats {
+        wirelength_per_layer: vec![0; num_layers as usize],
+        vias_per_cut: vec![0; num_layers.saturating_sub(1) as usize],
+        overflows: 0,
+    };
+    for r in routes {
         for s in &r.segments {
             stats.wirelength_per_layer[(s.layer.0 - 1) as usize] += s.len();
         }
@@ -192,7 +241,7 @@ pub fn route(
             stats.vias_per_cut[(v.lower.0 - 1) as usize] += 1;
         }
     }
-    (routes, stats)
+    stats
 }
 
 /// All pin positions of a net, driver first.
@@ -264,6 +313,12 @@ fn trunk_pair(config: &RouterConfig, len_dbu: i64, promote: usize) -> (Layer, La
     (Layer(h), Layer(v))
 }
 
+/// A committed trunk record: `(layer, track coordinate, span lo, span hi)`.
+type Trunk = (u8, i64, i64, i64);
+
+/// A candidate pattern: move path, trunk commitments, total overlap cost.
+type Pattern = (Vec<Move>, Vec<Trunk>, i64);
+
 /// Routes one two-pin connection, committing its trunks to the occupancy map.
 fn route_two_pin(
     a: Point,
@@ -275,11 +330,15 @@ fn route_two_pin(
 ) {
     let len = a.manhattan(b);
     // Try the length-based pair first; promote on persistent congestion.
-    let mut chosen: Option<(Vec<Move>, Vec<(u8, i64, i64, i64)>)> = None;
+    let mut chosen: Option<(Vec<Move>, Vec<Trunk>)> = None;
     for promote in 0..2 {
         let (h, v) = trunk_pair(config, len, promote);
         let (path, trunks, cost) = best_pattern(a, b, h, v, config, occ);
-        let overlap_frac = if len == 0 { 0.0 } else { cost as f64 / len as f64 };
+        let overlap_frac = if len == 0 {
+            0.0
+        } else {
+            cost as f64 / len as f64
+        };
         if overlap_frac <= config.promote_overlap || promote == 1 {
             if promote == 1 && overlap_frac > config.promote_overlap {
                 stats.overflows += 1;
@@ -304,13 +363,13 @@ fn best_pattern(
     v: Layer,
     config: &RouterConfig,
     occ: &Occupancy,
-) -> (Vec<Move>, Vec<(u8, i64, i64, i64)>, i64) {
+) -> Pattern {
     // Candidate trunk coordinates (before track search):
     // H-first L: horizontal trunk at a.y, vertical trunk at b.x
     // V-first L: vertical trunk at a.x, horizontal trunk at b.y
     // H Z: horizontal trunks at a.y/b.y with vertical mid at (a.x+b.x)/2
     // V Z: vertical trunks at a.x/b.x with horizontal mid at (a.y+b.y)/2
-    let mut best: Option<(Vec<Move>, Vec<(u8, i64, i64, i64)>, i64)> = None;
+    let mut best: Option<Pattern> = None;
     let candidates = [
         PatternKind::HFirst,
         PatternKind::VFirst,
@@ -348,8 +407,8 @@ fn build_pattern(
     kind: PatternKind,
     config: &RouterConfig,
     occ: &Occupancy,
-) -> (Vec<Move>, Vec<(u8, i64, i64, i64)>, i64) {
-    let mut trunks: Vec<(u8, i64, i64, i64)> = Vec::new();
+) -> Pattern {
+    let mut trunks: Vec<Trunk> = Vec::new();
     let mut cost = 0i64;
     let mut moves: Vec<Move> = Vec::new();
     let mut cur = a;
@@ -538,9 +597,16 @@ fn emit_path(start: Point, moves: &[Move], out: &mut NetRoute) {
 
 /// Emits vias connecting `from` to `to` at `at` (inclusive of all cuts).
 fn via_stack(at: Point, from: Layer, to: Layer, out: &mut NetRoute) {
-    let (lo, hi) = if from.0 <= to.0 { (from.0, to.0) } else { (to.0, from.0) };
+    let (lo, hi) = if from.0 <= to.0 {
+        (from.0, to.0)
+    } else {
+        (to.0, from.0)
+    };
     for l in lo..hi {
-        out.vias.push(Via { lower: Layer(l), at });
+        out.vias.push(Via {
+            lower: Layer(l),
+            at,
+        });
     }
 }
 
@@ -551,7 +617,17 @@ mod tests {
     use crate::place::{place, PlacerConfig};
     use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
 
-    fn routed(bench: Benchmark, scale: f64) -> (CellLibrary, Netlist, Floorplan, Placement, Vec<NetRoute>, RouteStats) {
+    fn routed(
+        bench: Benchmark,
+        scale: f64,
+    ) -> (
+        CellLibrary,
+        Netlist,
+        Floorplan,
+        Placement,
+        Vec<NetRoute>,
+        RouteStats,
+    ) {
         let lib = CellLibrary::nangate45();
         let nl = generate_with(bench, scale, 5, &lib);
         let fp = Floorplan::for_netlist(&nl, &lib, 0.7, 1.0);
@@ -567,7 +643,11 @@ mod tests {
         // Nodes: (point, layer).
         let mut nodes: Vec<(Point, u8)> = Vec::new();
         let mut index = HashMap::new();
-        let id_of = |nodes: &mut Vec<(Point, u8)>, index: &mut HashMap<(Point, u8), usize>, p: Point, l: u8| -> usize {
+        let id_of = |nodes: &mut Vec<(Point, u8)>,
+                     index: &mut HashMap<(Point, u8), usize>,
+                     p: Point,
+                     l: u8|
+         -> usize {
             *index.entry((p, l)).or_insert_with(|| {
                 nodes.push((p, l));
                 nodes.len() - 1
@@ -584,7 +664,10 @@ mod tests {
             let b = id_of(&mut nodes, &mut index, v.at, v.lower.0 + 1);
             edges.push((a, b));
         }
-        let pin_ids: Vec<usize> = pins.iter().map(|&p| id_of(&mut nodes, &mut index, p, 1)).collect();
+        let pin_ids: Vec<usize> = pins
+            .iter()
+            .map(|&p| id_of(&mut nodes, &mut index, p, 1))
+            .collect();
         // Points lying in the middle of same-layer segments also connect.
         for s in &r.segments {
             for (k, &(p, l)) in nodes.clone().iter().enumerate() {
@@ -635,7 +718,11 @@ mod tests {
                 if s.is_empty() {
                     continue;
                 }
-                assert_eq!(s.dir(), s.layer.dir(), "segment {s:?} off preferred direction");
+                assert_eq!(
+                    s.dir(),
+                    s.layer.dir(),
+                    "segment {s:?} off preferred direction"
+                );
             }
         }
     }

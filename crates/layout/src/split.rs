@@ -153,7 +153,10 @@ impl SplitView {
 
     /// Total number of broken sink pins (the CCR denominator).
     pub fn total_broken_sinks(&self) -> usize {
-        self.sinks.iter().map(|&f| self.fragment(f).sink_count).sum()
+        self.sinks
+            .iter()
+            .map(|&f| self.fragment(f).sink_count)
+            .sum()
     }
 }
 
@@ -190,28 +193,47 @@ pub fn split_design(design: &Design, split_layer: Layer) -> SplitView {
             .filter(|s| s.layer.0 <= m && !s.is_empty())
             .copied()
             .collect();
-        let feol_vias: Vec<Via> = route.vias.iter().filter(|v| v.lower.0 < m).copied().collect();
-        let cut_vias: Vec<Via> = route.vias.iter().filter(|v| v.lower.0 == m).copied().collect();
+        let feol_vias: Vec<Via> = route
+            .vias
+            .iter()
+            .filter(|v| v.lower.0 < m)
+            .copied()
+            .collect();
+        let cut_vias: Vec<Via> = route
+            .vias
+            .iter()
+            .filter(|v| v.lower.0 == m)
+            .copied()
+            .collect();
 
         // Cell pins with layout positions.
         let mut pins: Vec<FragPin> = Vec::new();
         if let Some(d) = net.driver {
-            pins.push(FragPin { pin: d, at: design.pin_position(d.inst, d.pin), is_driver: true });
+            pins.push(FragPin {
+                pin: d,
+                at: design.pin_position(d.inst, d.pin),
+                is_driver: true,
+            });
         }
         for s in &net.sinks {
-            pins.push(FragPin { pin: *s, at: design.pin_position(s.inst, s.pin), is_driver: false });
+            pins.push(FragPin {
+                pin: *s,
+                at: design.pin_position(s.inst, s.pin),
+                is_driver: false,
+            });
         }
 
         // Build union-find over (point, layer) nodes.
         let mut index: HashMap<NodeKey, usize> = HashMap::new();
         let mut parent: Vec<usize> = Vec::new();
-        let node_of = |index: &mut HashMap<NodeKey, usize>, parent: &mut Vec<usize>, key: NodeKey| -> usize {
-            *index.entry(key).or_insert_with(|| {
-                parent.push(parent.len());
-                parent.len() - 1
-            })
-        };
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        let node_of =
+            |index: &mut HashMap<NodeKey, usize>, parent: &mut Vec<usize>, key: NodeKey| -> usize {
+                *index.entry(key).or_insert_with(|| {
+                    parent.push(parent.len());
+                    parent.len() - 1
+                })
+            };
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -270,10 +292,11 @@ pub fn split_design(design: &Design, split_layer: Layer) -> SplitView {
         let mut comp_frag: HashMap<usize, usize> = HashMap::new();
         let mut net_frag_ids: Vec<usize> = Vec::new();
         let frag_for = |parent: &mut Vec<usize>,
-                            comp_frag: &mut HashMap<usize, usize>,
-                            fragments: &mut Vec<Fragment>,
-                            net_frag_ids: &mut Vec<usize>,
-                            node: usize| -> usize {
+                        comp_frag: &mut HashMap<usize, usize>,
+                        fragments: &mut Vec<Fragment>,
+                        net_frag_ids: &mut Vec<usize>,
+                        node: usize|
+         -> usize {
             let root = find(parent, node);
             *comp_frag.entry(root).or_insert_with(|| {
                 fragments.push(Fragment {
@@ -291,20 +314,44 @@ pub fn split_design(design: &Design, split_layer: Layer) -> SplitView {
         };
 
         for (si, s) in feol_segments.iter().enumerate() {
-            let f = frag_for(&mut parent, &mut comp_frag, &mut fragments, &mut net_frag_ids, seg_node[si]);
+            let f = frag_for(
+                &mut parent,
+                &mut comp_frag,
+                &mut fragments,
+                &mut net_frag_ids,
+                seg_node[si],
+            );
             fragments[f].segments.push(*s);
         }
         for (vi, v) in feol_vias.iter().enumerate() {
-            let f = frag_for(&mut parent, &mut comp_frag, &mut fragments, &mut net_frag_ids, via_node[vi]);
+            let f = frag_for(
+                &mut parent,
+                &mut comp_frag,
+                &mut fragments,
+                &mut net_frag_ids,
+                via_node[vi],
+            );
             fragments[f].vias.push(*v);
         }
         for (ci, v) in cut_vias.iter().enumerate() {
-            let f = frag_for(&mut parent, &mut comp_frag, &mut fragments, &mut net_frag_ids, cut_node[ci]);
+            let f = frag_for(
+                &mut parent,
+                &mut comp_frag,
+                &mut fragments,
+                &mut net_frag_ids,
+                cut_node[ci],
+            );
             fragments[f].virtual_pins.push(v.at);
         }
         let mut source_frag: Option<usize> = None;
         for (pi, p) in pins.iter().enumerate() {
-            let f = frag_for(&mut parent, &mut comp_frag, &mut fragments, &mut net_frag_ids, pin_node[pi]);
+            let f = frag_for(
+                &mut parent,
+                &mut comp_frag,
+                &mut fragments,
+                &mut net_frag_ids,
+                pin_node[pi],
+            );
             fragments[f].pins.push(*p);
             if p.is_driver {
                 source_frag = Some(f);
@@ -375,10 +422,16 @@ pub fn audit(view: &SplitView, design: &Design) -> Vec<String> {
     for &sid in &view.sinks {
         let frag = view.fragment(sid);
         if frag.virtual_pins.is_empty() {
-            problems.push(format!("sink fragment {} of net {} has no virtual pin", sid.0, frag.net.0));
+            problems.push(format!(
+                "sink fragment {} of net {} has no virtual pin",
+                sid.0, frag.net.0
+            ));
         }
         if !view.truth.contains_key(&sid) {
-            problems.push(format!("sink fragment {} of net {} has no ground-truth source", sid.0, frag.net.0));
+            problems.push(format!(
+                "sink fragment {} of net {} has no ground-truth source",
+                sid.0, frag.net.0
+            ));
         }
     }
     for &sid in &view.sources {
@@ -391,10 +444,16 @@ pub fn audit(view: &SplitView, design: &Design) -> Vec<String> {
         }
     }
     // Every broken sink pin must be accounted for.
-    let broken: usize = view.sinks.iter().map(|&f| view.fragment(f).sink_count).sum();
+    let broken: usize = view
+        .sinks
+        .iter()
+        .map(|&f| view.fragment(f).sink_count)
+        .sum();
     let total_sinks: usize = design.netlist.nets().map(|(_, n)| n.sinks.len()).sum();
     if broken > total_sinks {
-        problems.push(format!("{broken} broken sinks exceed {total_sinks} total sinks"));
+        problems.push(format!(
+            "{broken} broken sinks exceed {total_sinks} total sinks"
+        ));
     }
     let _ = PinDir::Input; // silence unused import when compiled without debug
     problems
@@ -487,7 +546,10 @@ mod tests {
         for frag in &view.fragments {
             if frag.kind == FragKind::Complete {
                 assert!(!view.sinks.contains(&FragId(
-                    view.fragments.iter().position(|f| std::ptr::eq(f, frag)).unwrap() as u32
+                    view.fragments
+                        .iter()
+                        .position(|f| std::ptr::eq(f, frag))
+                        .unwrap() as u32
                 )));
             }
         }

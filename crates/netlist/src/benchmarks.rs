@@ -42,7 +42,10 @@ impl Benchmark {
     /// All benchmarks in the paper's Table 3 row order.
     pub fn all() -> [Benchmark; 16] {
         use Benchmark::*;
-        [B11, B13, B14, B15_1, B17_1, B18, B7, C1355, C1908, C2670, C3540, C432, C5315, C6288, C7552, C880]
+        [
+            B11, B13, B14, B15_1, B17_1, B18, B7, C1355, C1908, C2670, C3540, C432, C5315, C6288,
+            C7552, C880,
+        ]
     }
 
     /// The designs used for *training* in the paper's protocol (nine designs);
@@ -131,7 +134,16 @@ impl Benchmark {
     #[allow(clippy::type_complexity)]
     pub fn paper_reference(
         self,
-    ) -> (usize, usize, usize, usize, Option<f64>, f64, Option<f64>, f64) {
+    ) -> (
+        usize,
+        usize,
+        usize,
+        usize,
+        Option<f64>,
+        f64,
+        Option<f64>,
+        f64,
+    ) {
         match self {
             Benchmark::B11 => (738, 296, 213, 57, Some(9.05), 10.03, Some(66.67), 66.67),
             Benchmark::B13 => (430, 215, 88, 52, Some(10.42), 17.91, Some(42.05), 70.45),

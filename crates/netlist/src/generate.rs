@@ -111,7 +111,11 @@ pub fn generate(name: &str, config: &GeneratorConfig, lib: &CellLibrary) -> Netl
     let mut signals: Vec<Signal> = Vec::new();
     let mut use_count: Vec<usize> = Vec::new();
 
-    let push_signal = |signals: &mut Vec<Signal>, use_count: &mut Vec<usize>, net: NetId, level: usize, pos: f64| {
+    let push_signal = |signals: &mut Vec<Signal>,
+                       use_count: &mut Vec<usize>,
+                       net: NetId,
+                       level: usize,
+                       pos: f64| {
         signals.push(Signal { net, level, pos });
         use_count.push(0);
     };
@@ -223,7 +227,10 @@ fn draw_source(
     locality: f64,
     already: &[usize],
 ) -> usize {
-    assert!(!pool.is_empty(), "generator needs at least one source signal");
+    assert!(
+        !pool.is_empty(),
+        "generator needs at least one source signal"
+    );
     // Retry a few times to avoid duplicated inputs; fall back to whatever.
     for attempt in 0..8 {
         // Geometric level decay: with prob `locality` take the previous level,
@@ -245,8 +252,9 @@ fn draw_source(
         // Snap to the nearest-positioned signal in a small neighbourhood so
         // locality tracks actual signal positions, not just pool order.
         let mut best = (pool[idx].pos - target).abs();
-        for j in idx.saturating_sub(2)..(idx + 3).min(hi) {
-            let d = (pool[j].pos - target).abs();
+        let lo_j = idx.saturating_sub(2);
+        for (j, sig) in pool.iter().enumerate().take((idx + 3).min(hi)).skip(lo_j) {
+            let d = (sig.pos - target).abs();
             if d < best {
                 best = d;
                 idx = j;
@@ -361,7 +369,10 @@ mod tests {
     fn generates_valid_netlists() {
         let lib = CellLibrary::nangate45();
         for seed in [1, 2, 3] {
-            let config = GeneratorConfig { seed, ..GeneratorConfig::default() };
+            let config = GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            };
             let nl = generate("t", &config, &lib);
             assert!(nl.validate_with(&lib).is_ok(), "seed {seed}");
         }
@@ -375,16 +386,36 @@ mod tests {
         let b = generate("a", &config, &lib);
         assert_eq!(a.num_instances(), b.num_instances());
         assert_eq!(a.num_nets(), b.num_nets());
-        let na: Vec<_> = a.nets().map(|(_, n)| (n.name.clone(), n.fanout())).collect();
-        let nb: Vec<_> = b.nets().map(|(_, n)| (n.name.clone(), n.fanout())).collect();
+        let na: Vec<_> = a
+            .nets()
+            .map(|(_, n)| (n.name.clone(), n.fanout()))
+            .collect();
+        let nb: Vec<_> = b
+            .nets()
+            .map(|(_, n)| (n.name.clone(), n.fanout()))
+            .collect();
         assert_eq!(na, nb);
     }
 
     #[test]
     fn different_seeds_differ() {
         let lib = CellLibrary::nangate45();
-        let a = generate("a", &GeneratorConfig { seed: 1, ..Default::default() }, &lib);
-        let b = generate("a", &GeneratorConfig { seed: 2, ..Default::default() }, &lib);
+        let a = generate(
+            "a",
+            &GeneratorConfig {
+                seed: 1,
+                ..Default::default()
+            },
+            &lib,
+        );
+        let b = generate(
+            "a",
+            &GeneratorConfig {
+                seed: 2,
+                ..Default::default()
+            },
+            &lib,
+        );
         let fa: Vec<_> = a.nets().map(|(_, n)| n.fanout()).collect();
         let fb: Vec<_> = b.nets().map(|(_, n)| n.fanout()).collect();
         assert_ne!(fa, fb);
@@ -393,17 +424,29 @@ mod tests {
     #[test]
     fn respects_max_fanout() {
         let lib = CellLibrary::nangate45();
-        let config = GeneratorConfig { num_gates: 800, max_fanout: 8, ..Default::default() };
+        let config = GeneratorConfig {
+            num_gates: 800,
+            max_fanout: 8,
+            ..Default::default()
+        };
         let nl = generate("t", &config, &lib);
         for (_, net) in nl.nets() {
-            assert!(net.fanout() <= 8, "net {} fanout {}", net.name, net.fanout());
+            assert!(
+                net.fanout() <= 8,
+                "net {} fanout {}",
+                net.name,
+                net.fanout()
+            );
         }
     }
 
     #[test]
     fn no_driver_overloaded() {
         let lib = CellLibrary::nangate45();
-        let config = GeneratorConfig { num_gates: 600, ..Default::default() };
+        let config = GeneratorConfig {
+            num_gates: 600,
+            ..Default::default()
+        };
         let nl = generate("t", &config, &lib);
         for (id, net) in nl.nets() {
             let driver = net.driver.unwrap();
@@ -423,7 +466,10 @@ mod tests {
     #[test]
     fn sequential_designs_have_ffs() {
         let lib = CellLibrary::nangate45();
-        let config = GeneratorConfig { num_ffs: 20, ..Default::default() };
+        let config = GeneratorConfig {
+            num_ffs: 20,
+            ..Default::default()
+        };
         let nl = generate("t", &config, &lib);
         let ffs = nl
             .instances()
@@ -438,12 +484,20 @@ mod tests {
         let lib = CellLibrary::nangate45();
         let shallow = generate(
             "s",
-            &GeneratorConfig { target_depth: 5, num_gates: 400, ..Default::default() },
+            &GeneratorConfig {
+                target_depth: 5,
+                num_gates: 400,
+                ..Default::default()
+            },
             &lib,
         );
         let deep = generate(
             "d",
-            &GeneratorConfig { target_depth: 30, num_gates: 400, ..Default::default() },
+            &GeneratorConfig {
+                target_depth: 30,
+                num_gates: 400,
+                ..Default::default()
+            },
             &lib,
         );
         assert!(deep.logic_depth(&lib) > shallow.logic_depth(&lib));

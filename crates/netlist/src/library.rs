@@ -100,7 +100,10 @@ impl CellFunction {
     pub fn num_inputs(self) -> usize {
         match self {
             CellFunction::Inv | CellFunction::Buf => 1,
-            CellFunction::Nand(n) | CellFunction::Nor(n) | CellFunction::And(n) | CellFunction::Or(n) => n as usize,
+            CellFunction::Nand(n)
+            | CellFunction::Nor(n)
+            | CellFunction::And(n)
+            | CellFunction::Or(n) => n as usize,
             CellFunction::Xor2 | CellFunction::Xnor2 => 2,
             CellFunction::Aoi21 | CellFunction::Oai21 | CellFunction::Mux2 => 3,
             CellFunction::Dff => 1,
@@ -320,23 +323,193 @@ impl CellLibrary {
             res_ps_per_ff: f64,
         }
         let protos = [
-            Proto { function: CellFunction::Inv, base: "INV", inputs: &["A"], output: "ZN", cap_ff: 0.9, width_sites: 2, max_load_ff: 48.0, intrinsic_ps: 8.0, res_ps_per_ff: 2.2 },
-            Proto { function: CellFunction::Buf, base: "BUF", inputs: &["A"], output: "Z", cap_ff: 0.9, width_sites: 3, max_load_ff: 56.0, intrinsic_ps: 16.0, res_ps_per_ff: 2.0 },
-            Proto { function: CellFunction::Nand(2), base: "NAND2", inputs: &["A1", "A2"], output: "ZN", cap_ff: 1.0, width_sites: 3, max_load_ff: 44.0, intrinsic_ps: 12.0, res_ps_per_ff: 2.6 },
-            Proto { function: CellFunction::Nand(3), base: "NAND3", inputs: &["A1", "A2", "A3"], output: "ZN", cap_ff: 1.1, width_sites: 4, max_load_ff: 42.0, intrinsic_ps: 15.0, res_ps_per_ff: 2.9 },
-            Proto { function: CellFunction::Nand(4), base: "NAND4", inputs: &["A1", "A2", "A3", "A4"], output: "ZN", cap_ff: 1.2, width_sites: 5, max_load_ff: 40.0, intrinsic_ps: 18.0, res_ps_per_ff: 3.2 },
-            Proto { function: CellFunction::Nor(2), base: "NOR2", inputs: &["A1", "A2"], output: "ZN", cap_ff: 1.0, width_sites: 3, max_load_ff: 42.0, intrinsic_ps: 13.0, res_ps_per_ff: 2.8 },
-            Proto { function: CellFunction::Nor(3), base: "NOR3", inputs: &["A1", "A2", "A3"], output: "ZN", cap_ff: 1.1, width_sites: 4, max_load_ff: 40.0, intrinsic_ps: 17.0, res_ps_per_ff: 3.1 },
-            Proto { function: CellFunction::Nor(4), base: "NOR4", inputs: &["A1", "A2", "A3", "A4"], output: "ZN", cap_ff: 1.2, width_sites: 5, max_load_ff: 38.0, intrinsic_ps: 20.0, res_ps_per_ff: 3.4 },
-            Proto { function: CellFunction::And(2), base: "AND2", inputs: &["A1", "A2"], output: "ZN", cap_ff: 1.0, width_sites: 4, max_load_ff: 50.0, intrinsic_ps: 20.0, res_ps_per_ff: 2.3 },
-            Proto { function: CellFunction::And(3), base: "AND3", inputs: &["A1", "A2", "A3"], output: "ZN", cap_ff: 1.1, width_sites: 5, max_load_ff: 48.0, intrinsic_ps: 23.0, res_ps_per_ff: 2.5 },
-            Proto { function: CellFunction::Or(2), base: "OR2", inputs: &["A1", "A2"], output: "ZN", cap_ff: 1.0, width_sites: 4, max_load_ff: 50.0, intrinsic_ps: 21.0, res_ps_per_ff: 2.4 },
-            Proto { function: CellFunction::Or(3), base: "OR3", inputs: &["A1", "A2", "A3"], output: "ZN", cap_ff: 1.1, width_sites: 5, max_load_ff: 48.0, intrinsic_ps: 24.0, res_ps_per_ff: 2.6 },
-            Proto { function: CellFunction::Xor2, base: "XOR2", inputs: &["A", "B"], output: "Z", cap_ff: 1.5, width_sites: 6, max_load_ff: 40.0, intrinsic_ps: 28.0, res_ps_per_ff: 3.0 },
-            Proto { function: CellFunction::Xnor2, base: "XNOR2", inputs: &["A", "B"], output: "ZN", cap_ff: 1.5, width_sites: 6, max_load_ff: 40.0, intrinsic_ps: 29.0, res_ps_per_ff: 3.0 },
-            Proto { function: CellFunction::Aoi21, base: "AOI21", inputs: &["A", "B1", "B2"], output: "ZN", cap_ff: 1.2, width_sites: 4, max_load_ff: 40.0, intrinsic_ps: 16.0, res_ps_per_ff: 3.0 },
-            Proto { function: CellFunction::Oai21, base: "OAI21", inputs: &["A", "B1", "B2"], output: "ZN", cap_ff: 1.2, width_sites: 4, max_load_ff: 40.0, intrinsic_ps: 16.0, res_ps_per_ff: 3.0 },
-            Proto { function: CellFunction::Mux2, base: "MUX2", inputs: &["A", "B", "S"], output: "Z", cap_ff: 1.3, width_sites: 6, max_load_ff: 44.0, intrinsic_ps: 26.0, res_ps_per_ff: 2.7 },
+            Proto {
+                function: CellFunction::Inv,
+                base: "INV",
+                inputs: &["A"],
+                output: "ZN",
+                cap_ff: 0.9,
+                width_sites: 2,
+                max_load_ff: 48.0,
+                intrinsic_ps: 8.0,
+                res_ps_per_ff: 2.2,
+            },
+            Proto {
+                function: CellFunction::Buf,
+                base: "BUF",
+                inputs: &["A"],
+                output: "Z",
+                cap_ff: 0.9,
+                width_sites: 3,
+                max_load_ff: 56.0,
+                intrinsic_ps: 16.0,
+                res_ps_per_ff: 2.0,
+            },
+            Proto {
+                function: CellFunction::Nand(2),
+                base: "NAND2",
+                inputs: &["A1", "A2"],
+                output: "ZN",
+                cap_ff: 1.0,
+                width_sites: 3,
+                max_load_ff: 44.0,
+                intrinsic_ps: 12.0,
+                res_ps_per_ff: 2.6,
+            },
+            Proto {
+                function: CellFunction::Nand(3),
+                base: "NAND3",
+                inputs: &["A1", "A2", "A3"],
+                output: "ZN",
+                cap_ff: 1.1,
+                width_sites: 4,
+                max_load_ff: 42.0,
+                intrinsic_ps: 15.0,
+                res_ps_per_ff: 2.9,
+            },
+            Proto {
+                function: CellFunction::Nand(4),
+                base: "NAND4",
+                inputs: &["A1", "A2", "A3", "A4"],
+                output: "ZN",
+                cap_ff: 1.2,
+                width_sites: 5,
+                max_load_ff: 40.0,
+                intrinsic_ps: 18.0,
+                res_ps_per_ff: 3.2,
+            },
+            Proto {
+                function: CellFunction::Nor(2),
+                base: "NOR2",
+                inputs: &["A1", "A2"],
+                output: "ZN",
+                cap_ff: 1.0,
+                width_sites: 3,
+                max_load_ff: 42.0,
+                intrinsic_ps: 13.0,
+                res_ps_per_ff: 2.8,
+            },
+            Proto {
+                function: CellFunction::Nor(3),
+                base: "NOR3",
+                inputs: &["A1", "A2", "A3"],
+                output: "ZN",
+                cap_ff: 1.1,
+                width_sites: 4,
+                max_load_ff: 40.0,
+                intrinsic_ps: 17.0,
+                res_ps_per_ff: 3.1,
+            },
+            Proto {
+                function: CellFunction::Nor(4),
+                base: "NOR4",
+                inputs: &["A1", "A2", "A3", "A4"],
+                output: "ZN",
+                cap_ff: 1.2,
+                width_sites: 5,
+                max_load_ff: 38.0,
+                intrinsic_ps: 20.0,
+                res_ps_per_ff: 3.4,
+            },
+            Proto {
+                function: CellFunction::And(2),
+                base: "AND2",
+                inputs: &["A1", "A2"],
+                output: "ZN",
+                cap_ff: 1.0,
+                width_sites: 4,
+                max_load_ff: 50.0,
+                intrinsic_ps: 20.0,
+                res_ps_per_ff: 2.3,
+            },
+            Proto {
+                function: CellFunction::And(3),
+                base: "AND3",
+                inputs: &["A1", "A2", "A3"],
+                output: "ZN",
+                cap_ff: 1.1,
+                width_sites: 5,
+                max_load_ff: 48.0,
+                intrinsic_ps: 23.0,
+                res_ps_per_ff: 2.5,
+            },
+            Proto {
+                function: CellFunction::Or(2),
+                base: "OR2",
+                inputs: &["A1", "A2"],
+                output: "ZN",
+                cap_ff: 1.0,
+                width_sites: 4,
+                max_load_ff: 50.0,
+                intrinsic_ps: 21.0,
+                res_ps_per_ff: 2.4,
+            },
+            Proto {
+                function: CellFunction::Or(3),
+                base: "OR3",
+                inputs: &["A1", "A2", "A3"],
+                output: "ZN",
+                cap_ff: 1.1,
+                width_sites: 5,
+                max_load_ff: 48.0,
+                intrinsic_ps: 24.0,
+                res_ps_per_ff: 2.6,
+            },
+            Proto {
+                function: CellFunction::Xor2,
+                base: "XOR2",
+                inputs: &["A", "B"],
+                output: "Z",
+                cap_ff: 1.5,
+                width_sites: 6,
+                max_load_ff: 40.0,
+                intrinsic_ps: 28.0,
+                res_ps_per_ff: 3.0,
+            },
+            Proto {
+                function: CellFunction::Xnor2,
+                base: "XNOR2",
+                inputs: &["A", "B"],
+                output: "ZN",
+                cap_ff: 1.5,
+                width_sites: 6,
+                max_load_ff: 40.0,
+                intrinsic_ps: 29.0,
+                res_ps_per_ff: 3.0,
+            },
+            Proto {
+                function: CellFunction::Aoi21,
+                base: "AOI21",
+                inputs: &["A", "B1", "B2"],
+                output: "ZN",
+                cap_ff: 1.2,
+                width_sites: 4,
+                max_load_ff: 40.0,
+                intrinsic_ps: 16.0,
+                res_ps_per_ff: 3.0,
+            },
+            Proto {
+                function: CellFunction::Oai21,
+                base: "OAI21",
+                inputs: &["A", "B1", "B2"],
+                output: "ZN",
+                cap_ff: 1.2,
+                width_sites: 4,
+                max_load_ff: 40.0,
+                intrinsic_ps: 16.0,
+                res_ps_per_ff: 3.0,
+            },
+            Proto {
+                function: CellFunction::Mux2,
+                base: "MUX2",
+                inputs: &["A", "B", "S"],
+                output: "Z",
+                cap_ff: 1.3,
+                width_sites: 6,
+                max_load_ff: 44.0,
+                intrinsic_ps: 26.0,
+                res_ps_per_ff: 2.7,
+            },
         ];
 
         for p in &protos {
@@ -418,9 +591,9 @@ mod tests {
     fn nangate45_has_expected_cells() {
         let lib = CellLibrary::nangate45();
         for name in [
-            "INV_X1", "INV_X2", "INV_X4", "BUF_X1", "NAND2_X1", "NAND3_X1", "NAND4_X1",
-            "NOR2_X1", "AND2_X1", "OR2_X1", "XOR2_X1", "XNOR2_X1", "AOI21_X1", "OAI21_X1",
-            "MUX2_X1", "DFF_X1", "PAD_IN", "PAD_OUT",
+            "INV_X1", "INV_X2", "INV_X4", "BUF_X1", "NAND2_X1", "NAND3_X1", "NAND4_X1", "NOR2_X1",
+            "AND2_X1", "OR2_X1", "XOR2_X1", "XNOR2_X1", "AOI21_X1", "OAI21_X1", "MUX2_X1",
+            "DFF_X1", "PAD_IN", "PAD_OUT",
         ] {
             assert!(lib.find(name).is_some(), "missing {name}");
         }
@@ -459,9 +632,13 @@ mod tests {
     #[test]
     fn by_function_lookup() {
         let lib = CellLibrary::nangate45();
-        let id = lib.by_function(CellFunction::Nand(2), DriveStrength::X1).unwrap();
+        let id = lib
+            .by_function(CellFunction::Nand(2), DriveStrength::X1)
+            .unwrap();
         assert_eq!(lib.cell(id).name, "NAND2_X1");
-        assert!(lib.by_function(CellFunction::Nand(4), DriveStrength::X4).is_none());
+        assert!(lib
+            .by_function(CellFunction::Nand(4), DriveStrength::X4)
+            .is_none());
     }
 
     #[test]

@@ -86,7 +86,9 @@ impl fmt::Display for NetlistError {
         match self {
             NetlistError::UndrivenNet(n) => write!(f, "net {n} has no driver"),
             NetlistError::DanglingNet(n) => write!(f, "net {n} has no sinks"),
-            NetlistError::UnconnectedPin(i, p) => write!(f, "instance {i} input pin {p} unconnected"),
+            NetlistError::UnconnectedPin(i, p) => {
+                write!(f, "instance {i} input pin {p} unconnected")
+            }
             NetlistError::DirectionMismatch(m) => write!(f, "pin direction mismatch: {m}"),
             NetlistError::InconsistentRef(m) => write!(f, "inconsistent net/pin reference: {m}"),
             NetlistError::DuplicateName(n) => write!(f, "duplicate name {n}"),
@@ -139,7 +141,12 @@ impl Netlist {
     }
 
     /// Adds an instance of `cell`, with all pins unconnected.
-    pub fn add_instance(&mut self, name: impl Into<String>, cell: CellKindId, lib: &CellLibrary) -> InstId {
+    pub fn add_instance(
+        &mut self,
+        name: impl Into<String>,
+        cell: CellKindId,
+        lib: &CellLibrary,
+    ) -> InstId {
         let id = InstId(self.instances.len() as u32);
         self.instances.push(Instance {
             name: name.into(),
@@ -166,7 +173,11 @@ impl Netlist {
     ///
     /// Panics if the net already has a driver.
     pub fn connect_driver(&mut self, net: NetId, inst: InstId, pin: u8) {
-        assert!(self.nets[net.0 as usize].driver.is_none(), "net {} already driven", net.0);
+        assert!(
+            self.nets[net.0 as usize].driver.is_none(),
+            "net {} already driven",
+            net.0
+        );
         self.nets[net.0 as usize].driver = Some(PinRef { inst, pin });
         self.instances[inst.0 as usize].pin_nets[pin as usize] = Some(net);
     }
@@ -207,12 +218,18 @@ impl Netlist {
 
     /// Iterates over `(id, instance)`.
     pub fn instances(&self) -> impl Iterator<Item = (InstId, &Instance)> {
-        self.instances.iter().enumerate().map(|(i, x)| (InstId(i as u32), x))
+        self.instances
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (InstId(i as u32), x))
     }
 
     /// Iterates over `(id, net)`.
     pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
-        self.nets.iter().enumerate().map(|(i, x)| (NetId(i as u32), x))
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (NetId(i as u32), x))
     }
 
     /// Instances that are primary-input pads.
@@ -227,7 +244,10 @@ impl Netlist {
     }
 
     /// Instances that are primary-output pads.
-    pub fn primary_outputs<'a>(&'a self, lib: &'a CellLibrary) -> impl Iterator<Item = InstId> + 'a {
+    pub fn primary_outputs<'a>(
+        &'a self,
+        lib: &'a CellLibrary,
+    ) -> impl Iterator<Item = InstId> + 'a {
         self.instances().filter_map(move |(id, inst)| {
             if lib.cell(inst.cell).function == crate::library::CellFunction::PadOut {
                 Some(id)
@@ -272,7 +292,10 @@ impl Netlist {
                     }
                     Some(nid) => {
                         let net = self.net(*nid);
-                        let me = PinRef { inst: id, pin: p as u8 };
+                        let me = PinRef {
+                            inst: id,
+                            pin: p as u8,
+                        };
                         let found = net.driver == Some(me) || net.sinks.contains(&me);
                         if !found {
                             return Err(NetlistError::InconsistentRef(format!(
@@ -478,7 +501,10 @@ mod tests {
         let a = nl.add_instance("a", lib.find_id("PAD_IN").unwrap(), &lib);
         let n = nl.add_net("n");
         nl.connect_driver(n, a, 0);
-        assert_eq!(nl.validate_with(&lib), Err(NetlistError::DanglingNet("n".into())));
+        assert_eq!(
+            nl.validate_with(&lib),
+            Err(NetlistError::DanglingNet("n".into()))
+        );
     }
 
     #[test]
@@ -508,6 +534,9 @@ mod tests {
         let mut nl = Netlist::new("t", &lib);
         nl.add_instance("x", lib.find_id("PAD_IN").unwrap(), &lib);
         nl.add_instance("x", lib.find_id("PAD_IN").unwrap(), &lib);
-        assert!(matches!(nl.validate_with(&lib), Err(NetlistError::DuplicateName(_))));
+        assert!(matches!(
+            nl.validate_with(&lib),
+            Err(NetlistError::DuplicateName(_))
+        ));
     }
 }

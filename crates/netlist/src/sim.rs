@@ -99,7 +99,11 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `input_values.len()` differs from [`Simulator::num_inputs`].
     pub fn eval(&mut self, input_values: &[bool]) -> &[bool] {
-        assert_eq!(input_values.len(), self.inputs.len(), "input width mismatch");
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "input width mismatch"
+        );
         // Drive input pads and FF outputs.
         for (k, &pad) in self.inputs.iter().enumerate() {
             if let Some(net) = self.nl.instance(pad).pin_nets[0] {

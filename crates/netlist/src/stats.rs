@@ -72,7 +72,11 @@ impl NetlistStats {
             num_outputs,
             num_nets,
             num_sink_pins,
-            avg_fanout: if num_nets == 0 { 0.0 } else { num_sink_pins as f64 / num_nets as f64 },
+            avg_fanout: if num_nets == 0 {
+                0.0
+            } else {
+                num_sink_pins as f64 / num_nets as f64
+            },
             max_fanout,
             fanout_histogram,
             logic_depth: nl.logic_depth(lib),

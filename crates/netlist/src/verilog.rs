@@ -113,7 +113,13 @@ pub fn write(nl: &Netlist, lib: &CellLibrary) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -178,7 +184,9 @@ impl<'a> Lexer<'a> {
     fn expect(&mut self, tok: &str) -> Result<(), VerilogError> {
         match self.next() {
             Some(t) if t == tok => Ok(()),
-            Some(t) => Err(VerilogError::Syntax(format!("expected `{tok}`, found `{t}`"))),
+            Some(t) => Err(VerilogError::Syntax(format!(
+                "expected `{tok}`, found `{t}`"
+            ))),
             None => Err(VerilogError::UnexpectedEof),
         }
     }
@@ -216,7 +224,8 @@ pub fn parse(src: &str, lib: &CellLibrary) -> Result<Netlist, VerilogError> {
     // assign LHS = RHS;  (alias pairs)
     let mut assigns: Vec<(String, String)> = Vec::new();
     // (cell, inst_name, ports[(port, net)])
-    let mut insts: Vec<(String, String, Vec<(String, String)>)> = Vec::new();
+    type ParsedInst = (String, String, Vec<(String, String)>);
+    let mut insts: Vec<ParsedInst> = Vec::new();
 
     loop {
         let tok = lx.next().ok_or(VerilogError::UnexpectedEof)?;
@@ -257,7 +266,9 @@ pub fn parse(src: &str, lib: &CellLibrary) -> Result<Netlist, VerilogError> {
                             lx.expect(")")?;
                             ports.push((port, net));
                         }
-                        t => return Err(VerilogError::Syntax(format!("unexpected `{t}` in ports"))),
+                        t => {
+                            return Err(VerilogError::Syntax(format!("unexpected `{t}` in ports")))
+                        }
                     }
                 }
                 lx.expect(";")?;
@@ -308,7 +319,9 @@ pub fn parse(src: &str, lib: &CellLibrary) -> Result<Netlist, VerilogError> {
 
     // Create gate instances.
     for (cell, inst_name, ports) in insts {
-        let kind = lib.find_id(&cell).ok_or_else(|| VerilogError::UnknownCell(cell.clone()))?;
+        let kind = lib
+            .find_id(&cell)
+            .ok_or_else(|| VerilogError::UnknownCell(cell.clone()))?;
         let spec = lib.cell(kind).clone();
         let inst: InstId = nl.add_instance(inst_name, kind, lib);
         for (port, net_name) in ports {
@@ -374,7 +387,10 @@ mod tests {
     fn parse_rejects_unknown_cell() {
         let lib = CellLibrary::nangate45();
         let src = "module t (a, z);\n input a;\n output z;\n wire a; wire z;\n BOGUS_X9 u0 (.A(a), .ZN(z));\nendmodule\n";
-        assert!(matches!(parse(src, &lib), Err(VerilogError::UnknownCell(_))));
+        assert!(matches!(
+            parse(src, &lib),
+            Err(VerilogError::UnknownCell(_))
+        ));
     }
 
     #[test]
@@ -386,7 +402,10 @@ mod tests {
         assert!(nl.validate_with(&lib).is_ok());
         // A truly undeclared net is still rejected.
         let src2 = "module t (a, z);\n input a;\n output z;\n wire n;\n assign n = a;\n assign z = ghost;\n INV_X1 u0 (.A(n), .ZN(missing));\nendmodule\n";
-        assert!(matches!(parse(src2, &lib), Err(VerilogError::UnknownNet(_))));
+        assert!(matches!(
+            parse(src2, &lib),
+            Err(VerilogError::UnknownNet(_))
+        ));
     }
 
     #[test]

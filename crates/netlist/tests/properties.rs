@@ -9,14 +9,14 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
     (
-        4usize..40,    // inputs
-        4usize..40,    // outputs
-        40usize..400,  // gates
-        0usize..30,    // ffs
-        3usize..20,    // depth
-        0.3f64..0.9,   // locality
-        4usize..16,    // max fanout
-        any::<u64>(),  // seed
+        4usize..40,   // inputs
+        4usize..40,   // outputs
+        40usize..400, // gates
+        0usize..30,   // ffs
+        3usize..20,   // depth
+        0.3f64..0.9,  // locality
+        4usize..16,   // max fanout
+        any::<u64>(), // seed
     )
         .prop_map(|(i, o, g, f, d, l, mf, seed)| GeneratorConfig {
             num_inputs: i,

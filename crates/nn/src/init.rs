@@ -13,7 +13,9 @@ pub struct Initializer {
 impl Initializer {
     /// Creates an initialiser from a seed.
     pub fn new(seed: u64) -> Self {
-        Initializer { rng: StdRng::seed_from_u64(seed ^ 0x1417) }
+        Initializer {
+            rng: StdRng::seed_from_u64(seed ^ 0x1417),
+        }
     }
 
     /// He-uniform initialisation for a layer with `fan_in` inputs — the

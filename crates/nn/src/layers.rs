@@ -128,8 +128,14 @@ impl Linear {
 impl Params for Linear {
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_>)) {
         self.ensure_grads();
-        f(ParamRef { value: &mut self.w, grad: &mut self.gw });
-        f(ParamRef { value: &mut self.b, grad: &mut self.gb });
+        f(ParamRef {
+            value: &mut self.w,
+            grad: &mut self.gw,
+        });
+        f(ParamRef {
+            value: &mut self.b,
+            grad: &mut self.gb,
+        });
     }
 }
 
@@ -165,7 +171,6 @@ impl Layer for Linear {
         }
         grad_out.matmul_t(&self.w)
     }
-
 }
 
 /// Leaky rectified linear unit `y = max(αx, x)` (the paper uses α = 0.01).
@@ -180,7 +185,10 @@ pub struct LeakyRelu {
 impl LeakyRelu {
     /// Creates an LReLU with the paper's slope of 0.01.
     pub fn new() -> LeakyRelu {
-        LeakyRelu { alpha: 0.01, cache_x: None }
+        LeakyRelu {
+            alpha: 0.01,
+            cache_x: None,
+        }
     }
 }
 
@@ -208,7 +216,6 @@ impl Layer for LeakyRelu {
         let x = self.cache_x.as_ref().expect("backward without forward");
         x.zip_map(grad_out, |xv, g| if xv > 0.0 { g } else { alpha * g })
     }
-
 }
 
 /// 3×3 convolution with `same` padding and configurable stride, NCHW layout,
@@ -238,7 +245,13 @@ struct ConvCache {
 
 impl Conv2d {
     /// Creates a `k×k` convolution (`in_ch → out_ch`) with the given stride.
-    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, init: &mut Initializer) -> Conv2d {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        init: &mut Initializer,
+    ) -> Conv2d {
         let fan_in = in_ch * k * k;
         Conv2d {
             w: init.he_uniform(&[fan_in, out_ch], fan_in),
@@ -352,8 +365,14 @@ impl Conv2d {
 impl Params for Conv2d {
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_>)) {
         self.ensure_grads();
-        f(ParamRef { value: &mut self.w, grad: &mut self.gw });
-        f(ParamRef { value: &mut self.b, grad: &mut self.gb });
+        f(ParamRef {
+            value: &mut self.w,
+            grad: &mut self.gw,
+        });
+        f(ParamRef {
+            value: &mut self.b,
+            grad: &mut self.gb,
+        });
     }
 }
 
@@ -374,7 +393,10 @@ impl Layer for Conv2d {
             }
         }
         if train {
-            self.cache = Some(ConvCache { col, in_shape: [n, self.in_ch, h, w] });
+            self.cache = Some(ConvCache {
+                col,
+                in_shape: [n, self.in_ch, h, w],
+            });
         }
         // (n*oh*ow, oc) → (n, oc, oh, ow)
         let oc = self.out_ch;
@@ -425,7 +447,6 @@ impl Layer for Conv2d {
         let gcol = g.matmul_t(&self.w);
         self.col2im(&gcol, cache.in_shape)
     }
-
 }
 
 /// Residual MLP block (paper Fig. 4): the output is the sum of the input and
@@ -478,7 +499,6 @@ impl Layer for ResBlock {
         g.add_assign(grad_out); // skip connection
         g
     }
-
 }
 
 /// Global average pooling `(n, c, h, w)` → `(n, c)`.
@@ -536,7 +556,6 @@ impl Layer for GlobalAvgPool {
         }
         gx
     }
-
 }
 
 /// A stack of `Linear`+`LReLU` pairs (used for the plain dense parts).
@@ -563,7 +582,11 @@ impl MlpStack {
             layers.push(Linear::new(w[0], w[1], init));
             acts.push(LeakyRelu::new());
         }
-        MlpStack { layers, acts, activate_last }
+        MlpStack {
+            layers,
+            acts,
+            activate_last,
+        }
     }
 }
 
@@ -599,7 +622,6 @@ impl Layer for MlpStack {
         }
         g
     }
-
 }
 
 #[cfg(test)]

@@ -43,7 +43,10 @@ pub mod parallel;
 pub mod tensor;
 
 pub use init::Initializer;
-pub use layers::{add_grads, export_grads, scale_grads, Conv2d, GlobalAvgPool, Layer, LeakyRelu, Linear, MlpStack, ParamRef, Params, ResBlock};
+pub use layers::{
+    add_grads, export_grads, scale_grads, Conv2d, GlobalAvgPool, Layer, LeakyRelu, Linear,
+    MlpStack, ParamRef, Params, ResBlock,
+};
 pub use loss::{softmax_regression, two_class};
 pub use optim::{Adam, Optimizer, Sgd, StepDecay};
 pub use tensor::Tensor;

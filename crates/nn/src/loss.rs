@@ -38,8 +38,8 @@ pub fn softmax_regression(scores: &Tensor, target: usize) -> (f32, Tensor) {
     let p = softmax(scores.data());
     let loss = -p[target].max(1e-30).ln();
     let mut grad = Tensor::zeros(&[n, 1]);
-    for j in 0..n {
-        grad.data_mut()[j] = p[j] - if j == target { 1.0 } else { 0.0 };
+    for (j, (g, &pj)) in grad.data_mut().iter_mut().zip(&p).enumerate() {
+        *g = pj - if j == target { 1.0 } else { 0.0 };
     }
     (loss, grad)
 }

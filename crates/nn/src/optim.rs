@@ -31,7 +31,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with the given rate and momentum.
     pub fn new(lr: f32, momentum: f32) -> Sgd {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -152,7 +156,11 @@ pub struct StepDecay {
 impl StepDecay {
     /// The paper's schedule.
     pub fn paper() -> StepDecay {
-        StepDecay { initial: 1e-3, factor: 0.6, every: 20 }
+        StepDecay {
+            initial: 1e-3,
+            factor: 0.6,
+            every: 20,
+        }
     }
 
     /// Learning rate at the given (0-based) epoch.

@@ -32,12 +32,16 @@ where
             });
         }
     });
-    out.into_iter().map(|o| o.expect("worker filled slot")).collect()
+    out.into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
 }
 
 /// A sensible default worker count for this machine.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ impl Tensor {
     /// A zero tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Tensor {
         let n = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Builds a tensor from raw data.
@@ -41,8 +44,15 @@ impl Tensor {
     ///
     /// Panics if `data.len()` does not match the shape's element count.
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Tensor {
-        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data mismatch");
-        Tensor { shape: shape.to_vec(), data }
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// A 1-element tensor.
@@ -76,7 +86,11 @@ impl Tensor {
     ///
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: &[usize]) -> Tensor {
-        assert_eq!(self.numel(), shape.iter().product::<usize>(), "reshape mismatch");
+        assert_eq!(
+            self.numel(),
+            shape.iter().product::<usize>(),
+            "reshape mismatch"
+        );
         self.shape = shape.to_vec();
         self
     }
@@ -105,7 +119,12 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -242,7 +261,8 @@ impl Tensor {
             for p in parts {
                 let (pr, pc) = p.dims2();
                 assert_eq!(pr, rows, "concat row mismatch");
-                out[r * total + at..r * total + at + pc].copy_from_slice(&p.data[r * pc..(r + 1) * pc]);
+                out[r * total + at..r * total + at + pc]
+                    .copy_from_slice(&p.data[r * pc..(r + 1) * pc]);
                 at += pc;
             }
         }
@@ -304,7 +324,12 @@ impl Tensor {
     ///
     /// Panics unless the rank is exactly 2.
     pub fn dims2(&self) -> (usize, usize) {
-        assert_eq!(self.shape.len(), 2, "expected 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "expected 2-D tensor, got {:?}",
+            self.shape
+        );
         (self.shape[0], self.shape[1])
     }
 
@@ -314,7 +339,12 @@ impl Tensor {
     ///
     /// Panics unless the rank is exactly 4.
     pub fn dims4(&self) -> (usize, usize, usize, usize) {
-        assert_eq!(self.shape.len(), 4, "expected 4-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            4,
+            "expected 4-D tensor, got {:?}",
+            self.shape
+        );
         (self.shape[0], self.shape[1], self.shape[2], self.shape[3])
     }
 }

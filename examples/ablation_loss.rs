@@ -33,7 +33,10 @@ fn main() {
         ("Vec & Img", true, false),
     ];
 
-    println!("\n{:<12} {:>10} {:>16}", "setting", "CCR (%)", "inference (s)");
+    println!(
+        "\n{:<12} {:>10} {:>16}",
+        "setting", "CCR (%)", "inference (s)"
+    );
     let mut baseline = None;
     for (name, use_images, two_class) in settings {
         let config = AttackConfig {

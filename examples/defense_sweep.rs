@@ -1,58 +1,47 @@
-//! Defense exploration (the paper's future-work direction): routing-based
-//! defenses reduce the FEOL leakage the attack feeds on. Here we sweep the
-//! router's *escape fraction* — how far FEOL wiring extends toward its BEOL
-//! continuation. `0.0` approximates wire-lifting defenses (nets pop straight
-//! up at the pins, leaving no directional hint); `0.45` is the default
-//! leaky behaviour of a PPA-driven router.
+//! Defense exploration on the `deepsplit-defense` subsystem: every defense
+//! mechanism at two strengths against the adaptive DL attack, the
+//! network-flow baseline and naïve proximity, with the PPA bill attached.
 //!
-//! The sweep shows the attack's CCR collapsing toward chance as the leakage
-//! is removed, and the wirelength overhead a real defense would pay.
+//! Earlier versions of this example hand-tweaked one router knob
+//! (`escape_frac`); it now drives the real thing — placement perturbation,
+//! targeted wire lifting and decoy vias from `deepsplit::defense`, evaluated
+//! with the re-train-on-defended-corpus protocol and fanned out over worker
+//! threads.
 //!
 //! ```text
 //! cargo run --release --example defense_sweep
 //! ```
 
+use deepsplit::defense::sweep::{self, SweepConfig};
 use deepsplit::prelude::*;
 
 fn main() {
-    let lib = CellLibrary::nangate45();
-    let layer = Layer(3);
-    let config = AttackConfig::fast();
+    let mut config = SweepConfig::fast();
+    // One victim, split after M3, every defense at half and full strength.
+    config.benchmarks = vec![Benchmark::C432];
+    config.split_layers = vec![Layer(3)];
+    config.strengths = vec![0.5, 1.0];
 
+    let results = sweep::sweep(&config);
+    print!("{}", sweep::render_matrix(&results));
+
+    let strongest = results
+        .iter()
+        .filter(|r| r.defense.kind != DefenseKind::None)
+        .max_by(|a, b| {
+            sweep::protection_factor(&results, a).total_cmp(&sweep::protection_factor(&results, b))
+        })
+        .expect("matrix has defended cells");
     println!(
-        "{:>8} {:>8} {:>12} {:>12} {:>14}",
-        "escape", "#Sk", "DL CCR (%)", "prox CCR (%)", "wirelength um"
+        "\nbest defense: {} at strength {:.2} — {:.1}× DL-CCR reduction for {:+.1} % wirelength, {:+.1} % vias",
+        strongest.defense.kind.name(),
+        strongest.defense.strength,
+        sweep::protection_factor(&results, strongest),
+        strongest.defense.wirelength_overhead_pct(),
+        strongest.defense.via_overhead_pct(),
     );
-
-    for &escape in &[0.45, 0.30, 0.15, 0.0] {
-        let mut implement = ImplementConfig::default();
-        implement.router.escape_frac = escape;
-
-        // Training layout with the same defensive router (the attacker adapts:
-        // their database is generated "in a similar manner").
-        let train_nl = benchmarks::generate_with(Benchmark::C880, 1.0, 55, &lib);
-        let train_design = Design::implement(train_nl, lib.clone(), &implement);
-        let train_data = vec![PreparedDesign::prepare(&train_design, layer, &config)];
-        let (trained, _) = train::train(&train_data, &config);
-
-        let victim_nl = benchmarks::generate_with(Benchmark::C432, 1.0, 66, &lib);
-        let victim_design = Design::implement(victim_nl, lib.clone(), &implement);
-        let victim = PreparedDesign::prepare(&victim_design, layer, &config);
-
-        let outcome = attack::attack(&trained, &victim);
-        let dl = 100.0 * ccr(&victim.view, &outcome.assignment);
-        let prox = 100.0 * ccr(&victim.view, &proximity_attack(&victim.view));
-        let wl = victim_design.total_wirelength() as f64 / 1000.0;
-
-        println!(
-            "{:>8.2} {:>8} {:>12.2} {:>12.2} {:>14.1}",
-            escape,
-            victim.view.num_sink_fragments(),
-            dl,
-            prox,
-            wl
-        );
-    }
-    println!("\nlower escape = less FEOL extension toward the BEOL = less leakage;");
-    println!("a real lifting defense pays area/wirelength to achieve the same effect.");
+    println!(
+        "chance floor for this victim: {:.2} % CCR",
+        100.0 * strongest.scores.chance_ccr
+    );
 }

@@ -6,9 +6,9 @@
 //! cargo run --release --example export_formats
 //! ```
 
-use deepsplit::prelude::*;
 use deepsplit::layout::def;
 use deepsplit::netlist::{sim, verilog};
+use deepsplit::prelude::*;
 
 fn main() {
     let lib = CellLibrary::nangate45();
@@ -19,7 +19,10 @@ fn main() {
     println!("verilog: {} lines", text.lines().count());
     let parsed = verilog::parse(&text, &lib).expect("parse back");
     let agreement = sim::functional_agreement(&nl, &parsed, &lib, 32, 7);
-    println!("round-trip functional agreement: {:.1} %", 100.0 * agreement);
+    println!(
+        "round-trip functional agreement: {:.1} %",
+        100.0 * agreement
+    );
     assert!((agreement - 1.0).abs() < 1e-12);
 
     // Routed DEF of the full design.
@@ -34,8 +37,7 @@ fn main() {
         "FEOL DEF (M1 split): {} lines, {} broken sink fragments, {} virtual pins",
         feol.lines().count(),
         view.num_sink_fragments(),
-        view
-            .fragments
+        view.fragments
             .iter()
             .map(|f| f.virtual_pins.len())
             .sum::<usize>()

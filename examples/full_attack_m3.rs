@@ -16,7 +16,12 @@ fn main() {
     let layer = Layer(3);
 
     // Training database: four mid-sized layouts.
-    let training = [Benchmark::C880, Benchmark::C1355, Benchmark::C1908, Benchmark::B13];
+    let training = [
+        Benchmark::C880,
+        Benchmark::C1355,
+        Benchmark::C1908,
+        Benchmark::B13,
+    ];
     println!("building training database ({} layouts)…", training.len());
     let mut train_data = Vec::new();
     for (i, bench) in training.iter().enumerate() {

@@ -58,5 +58,8 @@ fn main() {
     );
     println!("  deep-learning attack CCR: {:.2} %", 100.0 * dl_ccr);
     println!("  naïve proximity CCR:      {:.2} %", 100.0 * prox_ccr);
-    println!("  inference time:           {:.3} s", outcome.inference.as_secs_f64());
+    println!(
+        "  inference time:           {:.3} s",
+        outcome.inference.as_secs_f64()
+    );
 }

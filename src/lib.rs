@@ -12,6 +12,7 @@
 //! | [`nn`] | CPU deep-learning framework (tensors, conv/dense/residual layers, the paper's losses, Adam/SGD) |
 //! | [`flow`] | baselines: network-flow attack (Wang et al.) and naïve proximity attack, min-cost max-flow, CCR |
 //! | [`core`] | the paper's attack: candidates, vector/image features, hybrid network, training, inference |
+//! | [`defense`] | split-manufacturing defenses (perturbation, wire lifting, decoys) + the attack-vs-defense sweep harness |
 //!
 //! # Quickstart
 //!
@@ -38,6 +39,7 @@
 //! binaries regenerating every table and figure of the paper.
 
 pub use deepsplit_core as core;
+pub use deepsplit_defense as defense;
 pub use deepsplit_flow as flow;
 pub use deepsplit_layout as layout;
 pub use deepsplit_netlist as netlist;
@@ -48,13 +50,15 @@ pub mod prelude {
     pub use deepsplit_core::attack;
     pub use deepsplit_core::config::AttackConfig;
     pub use deepsplit_core::dataset::PreparedDesign;
+    pub use deepsplit_core::recover::{functional_recovery, reconstruct};
     pub use deepsplit_core::train;
+    pub use deepsplit_defense::{self as defense, DefendedDesign, DefenseConfig, DefenseKind};
     pub use deepsplit_flow::attack::{network_flow_attack, FlowAttackConfig, FlowOutcome};
-    pub use deepsplit_flow::metrics::{ccr, fragment_accuracy};
+    pub use deepsplit_flow::metrics::{ccr, fragment_accuracy, Assignment};
     pub use deepsplit_flow::proximity::proximity_attack;
     pub use deepsplit_layout::design::{Design, ImplementConfig};
     pub use deepsplit_layout::geom::Layer;
-    pub use deepsplit_layout::split::{split_design, FragKind, SplitView};
+    pub use deepsplit_layout::split::{audit, split_design, FragId, FragKind, Fragment, SplitView};
     pub use deepsplit_netlist::benchmarks::{self, Benchmark};
     pub use deepsplit_netlist::library::CellLibrary;
 }

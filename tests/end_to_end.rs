@@ -24,8 +24,10 @@ fn implement(bench: Benchmark, scale: f64, seed: u64) -> Design {
 #[test]
 fn full_pipeline_beats_chance_at_m3() {
     let config = tiny_config();
-    let train_designs = [implement(Benchmark::C880, 0.6, 1),
-        implement(Benchmark::C1908, 0.6, 2)];
+    let train_designs = [
+        implement(Benchmark::C880, 0.6, 1),
+        implement(Benchmark::C1908, 0.6, 2),
+    ];
     let train_data: Vec<PreparedDesign> = train_designs
         .iter()
         .map(|d| PreparedDesign::prepare(d, Layer(3), &config))
@@ -48,11 +50,20 @@ fn all_three_attacks_produce_full_assignments() {
     let victim = PreparedDesign::prepare(&design, Layer(3), &config);
     let view = &victim.view;
 
-    let train_data = vec![PreparedDesign::prepare(&implement(Benchmark::C1355, 0.5, 5), Layer(3), &config)];
+    let train_data = vec![PreparedDesign::prepare(
+        &implement(Benchmark::C1355, 0.5, 5),
+        Layer(3),
+        &config,
+    )];
     let (trained, _) = train::train(&train_data, &config);
     let dl = attack::attack(&trained, &victim).assignment;
     let prox = proximity_attack(view);
-    let flow = network_flow_attack(view, &design.netlist, &design.library, &FlowAttackConfig::default());
+    let flow = network_flow_attack(
+        view,
+        &design.netlist,
+        &design.library,
+        &FlowAttackConfig::default(),
+    );
     let flow = flow.assignment().expect("no timeout configured").clone();
 
     for (name, a) in [("dl", &dl), ("prox", &prox), ("flow", &flow)] {
@@ -88,7 +99,11 @@ fn ccr_monotone_under_oracle_improvement() {
 #[test]
 fn trained_model_serialises_and_attacks_identically() {
     let config = tiny_config();
-    let train_data = vec![PreparedDesign::prepare(&implement(Benchmark::C880, 0.4, 7), Layer(3), &config)];
+    let train_data = vec![PreparedDesign::prepare(
+        &implement(Benchmark::C880, 0.4, 7),
+        Layer(3),
+        &config,
+    )];
     let (trained, _) = train::train(&train_data, &config);
 
     let victim_design = implement(Benchmark::C432, 0.4, 8);

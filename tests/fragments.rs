@@ -3,8 +3,8 @@
 //! pins in the split layer, with ground truth linking sink fragments back to
 //! their net's source fragment.
 
-use deepsplit::prelude::*;
 use deepsplit::layout::split::{audit, FragKind};
+use deepsplit::prelude::*;
 
 fn build(bench: Benchmark, scale: f64, seed: u64) -> Design {
     let lib = CellLibrary::nangate45();
@@ -22,12 +22,24 @@ fn figure1_fragment_taxonomy() {
         *kinds.entry(frag.kind).or_insert(0usize) += 1;
     }
     // All four taxonomy classes of Fig. 1 must occur in a realistic layout.
-    assert!(kinds.get(&FragKind::Source).copied().unwrap_or(0) > 0, "no source fragments");
-    assert!(kinds.get(&FragKind::Sink).copied().unwrap_or(0) > 0, "no sink fragments");
-    assert!(kinds.get(&FragKind::Complete).copied().unwrap_or(0) > 0, "no complete nets");
+    assert!(
+        kinds.get(&FragKind::Source).copied().unwrap_or(0) > 0,
+        "no source fragments"
+    );
+    assert!(
+        kinds.get(&FragKind::Sink).copied().unwrap_or(0) > 0,
+        "no sink fragments"
+    );
+    assert!(
+        kinds.get(&FragKind::Complete).copied().unwrap_or(0) > 0,
+        "no complete nets"
+    );
     // Through fragments (wire-only M3 trunks between two cut vias, as drawn
     // in Fig. 1) appear whenever trunks traverse the split layer.
-    assert!(kinds.get(&FragKind::Through).copied().unwrap_or(0) > 0, "no through fragments");
+    assert!(
+        kinds.get(&FragKind::Through).copied().unwrap_or(0) > 0,
+        "no through fragments"
+    );
 }
 
 #[test]
@@ -55,8 +67,14 @@ fn ground_truth_is_consistent_with_netlist() {
         let sf = view.fragment(sink);
         let cf = view.fragment(source);
         assert_eq!(sf.net, cf.net, "truth links fragments of different nets");
-        assert!(cf.pins.iter().any(|p| p.is_driver), "truth target lacks a driver");
-        assert!(!sf.pins.iter().any(|p| p.is_driver), "sink fragment holds a driver");
+        assert!(
+            cf.pins.iter().any(|p| p.is_driver),
+            "truth target lacks a driver"
+        );
+        assert!(
+            !sf.pins.iter().any(|p| p.is_driver),
+            "sink fragment holds a driver"
+        );
     }
 }
 
