@@ -1,6 +1,7 @@
 //! The attack-vs-defense matrix: every defense at every strength against all
-//! three attackers, with PPA overhead — the paper's future-work direction
-//! quantified.
+//! three attackers, with PPA overhead — executed by the sweep engine with a
+//! content-addressed model store, shard-aware scheduling and resumable
+//! per-cell artifacts.
 //!
 //! ```text
 //! cargo run --release --bin defense_matrix                    # fast default
@@ -8,23 +9,52 @@
 //! cargo run --release --bin defense_matrix -- --strengths 0.25,0.5,1.0
 //! cargo run --release --bin defense_matrix -- --layers 1,3 --images
 //! cargo run --release --bin defense_matrix -- --json matrix.json
+//!
+//! # Repeated sweeps skip training via the on-disk model store:
+//! cargo run --release --bin defense_matrix -- --cache-dir .model-store
+//!
+//! # Split the matrix across two machines, then reassemble:
+//! cargo run --release --bin defense_matrix -- --shard 0/2 --artifacts runs/m
+//! cargo run --release --bin defense_matrix -- --shard 1/2 --artifacts runs/m
+//! cargo run --release --bin defense_matrix -- --merge --artifacts runs/m --json matrix.json
+//!
+//! # Interrupted? Re-run with --resume to keep completed cells:
+//! cargo run --release --bin defense_matrix -- --artifacts runs/m --resume
 //! ```
 
+use deepsplit_core::store::{DiskModelStore, MemoryModelStore, ModelStore};
 use deepsplit_defense::sweep::{self, SweepConfig};
 use deepsplit_defense::DefenseKind;
+use deepsplit_engine::{
+    merge_artifacts, protocol_fingerprint, EngineConfig, MatrixReport, MatrixRun,
+};
 use deepsplit_layout::geom::Layer;
 use deepsplit_netlist::benchmarks::Benchmark;
+use std::path::PathBuf;
 
 fn list_arg(args: &[String], flag: &str) -> Option<Vec<String>> {
     let pos = args.iter().position(|a| a == flag)?;
     Some(args.get(pos + 1)?.split(',').map(str::to_string).collect())
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut config = SweepConfig::fast();
+fn value_arg(args: &[String], flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.get(pos + 1).cloned()
+}
 
-    if let Some(designs) = list_arg(&args, "--designs") {
+fn parse_shard(s: &str) -> (usize, usize) {
+    let (index, count) = s
+        .split_once('/')
+        .expect("--shard takes INDEX/COUNT, e.g. 0/2");
+    (
+        index.parse().expect("bad shard index"),
+        count.parse().expect("bad shard count"),
+    )
+}
+
+fn sweep_config(args: &[String]) -> SweepConfig {
+    let mut config = SweepConfig::fast();
+    if let Some(designs) = list_arg(args, "--designs") {
         config.benchmarks = designs
             .iter()
             .filter_map(|n| Benchmark::from_name(n))
@@ -34,19 +64,19 @@ fn main() {
             "--designs matched no benchmark"
         );
     }
-    if let Some(strengths) = list_arg(&args, "--strengths") {
+    if let Some(strengths) = list_arg(args, "--strengths") {
         config.strengths = strengths
             .iter()
             .map(|s| s.parse().expect("bad strength"))
             .collect();
     }
-    if let Some(layers) = list_arg(&args, "--layers") {
+    if let Some(layers) = list_arg(args, "--layers") {
         config.split_layers = layers
             .iter()
             .map(|l| Layer(l.parse().expect("bad layer")))
             .collect();
     }
-    if let Some(kinds) = list_arg(&args, "--defenses") {
+    if let Some(kinds) = list_arg(args, "--defenses") {
         config.kinds = kinds
             .iter()
             .map(|k| DefenseKind::from_name(k).expect("unknown defense"))
@@ -55,16 +85,18 @@ fn main() {
     if args.iter().any(|a| a == "--images") {
         config.eval.attack.use_images = true;
     }
+    if let Some(threads) = value_arg(args, "--threads") {
+        config.threads = threads.parse().expect("bad thread count");
+    }
+    if let Some(shard) = value_arg(args, "--shard") {
+        config.shard = parse_shard(&shard);
+    }
+    config
+}
 
-    let cells = config.cells().len();
-    eprintln!(
-        "sweeping {cells} cells ({} benchmarks × {} layers × [baseline + {} defenses × {} strengths]) …",
-        config.benchmarks.len(),
-        config.split_layers.len(),
-        config.kinds.iter().filter(|&&k| k != DefenseKind::None).count(),
-        config.strengths.len(),
-    );
-    let results = sweep::sweep(&config);
+/// Renders the table, per-defense headlines and Pareto fronts of a full
+/// matrix, and writes the `--json` regression artifact when asked.
+fn report_full(results: Vec<deepsplit_defense::eval::EvalOutcome>, json_path: Option<String>) {
     print!("{}", sweep::render_matrix(&results));
 
     // Headline: the best protection factor each defense kind achieved.
@@ -91,9 +123,119 @@ fn main() {
         }
     }
 
-    if let Some(path) = list_arg(&args, "--json").and_then(|v| v.into_iter().next()) {
-        let json = serde_json::to_string(&results).expect("serialise matrix");
-        std::fs::write(&path, json).expect("write matrix json");
+    let report = MatrixReport::new(results);
+    println!();
+    for group in &report.pareto.groups {
+        println!(
+            "Pareto front {} / M{} (cost% → DL CCR%):",
+            group.benchmark, group.split_layer
+        );
+        for p in &group.points {
+            println!(
+                "  {:>9} @ {:.2}: {:+7.2} % cost → {:6.2} % CCR",
+                p.defense,
+                p.strength,
+                p.cost_overhead_pct,
+                100.0 * p.dl_ccr,
+            );
+        }
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).expect("write matrix json");
         eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = sweep_config(&args);
+    let artifacts_dir = value_arg(&args, "--artifacts").map(PathBuf::from);
+    let json_path = value_arg(&args, "--json");
+
+    // Misconfigurations that would discard hours of sweeping are refused
+    // before any work happens, not after.
+    let merge = args.iter().any(|a| a == "--merge");
+    assert!(
+        config.shard.1 == 1 || json_path.is_none() || merge,
+        "--json needs the full matrix: run every shard into --artifacts, then --merge"
+    );
+    assert!(
+        config.shard.1 == 1 || artifacts_dir.is_some(),
+        "--shard requires --artifacts DIR: without published cells the shards can never be merged"
+    );
+    assert!(
+        !args.iter().any(|a| a == "--resume") || artifacts_dir.is_some(),
+        "--resume requires --artifacts DIR (the directory holding the completed cells)"
+    );
+
+    // Merge mode: reassemble shard artifacts, no evaluation. The protocol
+    // fingerprint is derived from the same flags, so merging with a config
+    // different from the shards' refuses instead of mislabeling results.
+    if merge {
+        let dir = artifacts_dir.expect("--merge requires --artifacts DIR");
+        let results = match merge_artifacts(&dir, &config.cells(), protocol_fingerprint(&config)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("merge failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        report_full(results, json_path);
+        return;
+    }
+
+    let engine_config = EngineConfig {
+        sweep: config,
+        artifacts_dir,
+        resume: args.iter().any(|a| a == "--resume"),
+    };
+    let config = &engine_config.sweep;
+
+    let cells = config.cells().len();
+    let (shard_index, shard_count) = config.shard;
+    // Matrix-shape breakdown from the deduplicated cell list (the raw CLI
+    // lists may repeat kinds or strengths), so the formula matches `cells`.
+    let mut kinds: Vec<&str> = Vec::new();
+    let mut strengths: Vec<u64> = Vec::new();
+    for (_, _, d) in config.cells() {
+        if d.kind != DefenseKind::None {
+            if !kinds.contains(&d.kind.name()) {
+                kinds.push(d.kind.name());
+            }
+            if !strengths.contains(&d.strength.to_bits()) {
+                strengths.push(d.strength.to_bits());
+            }
+        }
+    }
+    eprintln!(
+        "sweeping {} of {cells} cells (shard {shard_index}/{shard_count}; {} benchmarks × {} layers × [baseline + {} defenses × {} strengths]) …",
+        config.shard_cells().len(),
+        config.benchmarks.len(),
+        config.split_layers.len(),
+        kinds.len(),
+        strengths.len(),
+    );
+
+    let disk_store = value_arg(&args, "--cache-dir")
+        .map(|dir| DiskModelStore::open(dir).expect("open model store"));
+    let memory_store = MemoryModelStore::new();
+    let store: &dyn ModelStore = match &disk_store {
+        Some(s) => s,
+        None => &memory_store,
+    };
+
+    let run: MatrixRun = deepsplit_engine::run(&engine_config, store);
+    eprintln!("{}", run.stats.summary());
+
+    if run.is_full() {
+        report_full(run.outcomes(), json_path);
+    } else {
+        // A shard prints its own rows; the regression artifact only exists
+        // for the reassembled matrix (--json was rejected up front).
+        print!("{}", sweep::render_matrix(&run.outcomes()));
+        eprintln!(
+            "shard {shard_index}/{shard_count} done; merge with: defense_matrix --merge --artifacts DIR [--json PATH]"
+        );
     }
 }

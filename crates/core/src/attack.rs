@@ -27,8 +27,23 @@ pub struct AttackOutcome {
 
 /// Scores every sink fragment of `prepared` and picks the best candidate VPP.
 pub fn attack(trained: &TrainedAttack, prepared: &PreparedDesign) -> AttackOutcome {
+    attack_with_threads(trained, prepared, trained.config.effective_threads())
+}
+
+/// [`attack`] with an explicit worker-thread count.
+///
+/// Inference is thread-count invariant (every query is scored independently
+/// and `parallel_map` preserves order), so a sweep may run a cached model
+/// with however many threads its scheduler has to spare — unlike training,
+/// where the thread count shapes gradient-accumulation order and is part of
+/// the model's identity.
+pub fn attack_with_threads(
+    trained: &TrainedAttack,
+    prepared: &PreparedDesign,
+    threads: usize,
+) -> AttackOutcome {
     let start = Instant::now();
-    let threads = trained.config.effective_threads();
+    let threads = threads.max(1);
     let use_images = trained.model.kind == ModelKind::VecImg && prepared.channels > 0;
 
     // Phase 1: embed all unique images (batched per worker).
@@ -187,5 +202,23 @@ mod tests {
         let a = attack(&trained, &victim);
         let b = attack(&trained, &victim);
         assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn inference_is_thread_count_invariant() {
+        // The model-store contract depends on this: a cached model evaluated
+        // with a different thread budget must reproduce identical scores.
+        for use_images in [false, true] {
+            let config = AttackConfig {
+                epochs: 2,
+                ..tiny(use_images)
+            };
+            let train_d = vec![prepared(Benchmark::C880, 3, &config)];
+            let (trained, _) = train(&train_d, &config);
+            let victim = prepared(Benchmark::C432, 4, &config);
+            let one = attack_with_threads(&trained, &victim, 1);
+            let many = attack_with_threads(&trained, &victim, 7);
+            assert_eq!(one.assignment, many.assignment, "images={use_images}");
+        }
     }
 }

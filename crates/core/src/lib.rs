@@ -16,6 +16,9 @@
 //! * [`train`] — Adam + the paper's LR schedule, data-parallel on CPU.
 //! * [`attack`] — inference with image-embedding reuse; produces the
 //!   assignment evaluated by CCR (Eq. 1).
+//! * [`fingerprint`] — stable 128-bit content addresses for training corpora.
+//! * [`store`] — content-addressed [`TrainedAttack`] caches (memory / disk)
+//!   keyed by corpus fingerprint, so repeated sweeps skip re-training.
 //!
 //! # Example: train on one design, attack another
 //!
@@ -49,17 +52,21 @@ pub mod attack;
 pub mod candidates;
 pub mod config;
 pub mod dataset;
+pub mod fingerprint;
 pub mod image_features;
 pub mod model;
 pub mod recover;
+pub mod store;
 pub mod train;
 pub mod vector_features;
 
-pub use attack::{attack, AttackOutcome};
+pub use attack::{attack, attack_with_threads, AttackOutcome};
 pub use candidates::{select_candidates, Candidate, CandidateSet};
 pub use config::AttackConfig;
 pub use dataset::PreparedDesign;
+pub use fingerprint::{CorpusFingerprint, StableHasher};
 pub use model::{AttackModel, LossKind, ModelKind};
 pub use recover::{functional_recovery, reconstruct};
-pub use train::{train, TrainReport, TrainedAttack};
+pub use store::{DiskModelStore, MemoryModelStore, ModelStore, StoreCounters};
+pub use train::{train, train_or_load, TrainReport, TrainedAttack};
 pub use vector_features::{Normalizer, VECTOR_DIM};

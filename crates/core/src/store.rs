@@ -1,0 +1,276 @@
+//! Content-addressed stores for trained attack models.
+//!
+//! A [`ModelStore`] maps a [`CorpusFingerprint`] to the
+//! [`TrainedAttack`] trained on that corpus, so any sweep cell whose corpus
+//! has already been trained — earlier in the same run, by another shard, or
+//! in a previous process — skips training entirely. Two backends:
+//!
+//! * [`MemoryModelStore`] — per-process, shares models across cells of one
+//!   sweep;
+//! * [`DiskModelStore`] — a directory of `<fingerprint>.json` files (via
+//!   [`TrainedAttack::to_json`]), shared across processes and runs. Writes
+//!   are atomic (temp file + rename), so concurrent shards may point at the
+//!   same directory.
+//!
+//! JSON round-trips are bit-exact for the model's floats (see
+//! `crates/compat/serde`), so a cache hit reproduces the exact scores a
+//! fresh training run would have produced.
+
+use crate::fingerprint::CorpusFingerprint;
+use crate::train::TrainedAttack;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Atomically publishes `contents` as `dir/file_name`: writes a temp file
+/// whose name is unique across processes (pid) and threads (global
+/// sequence), then renames into place — readers never observe a partial
+/// write, and concurrent writers of the same name race harmlessly (last
+/// rename wins).
+///
+/// # Panics
+///
+/// Panics when the write or rename fails; publishing is load-bearing for
+/// both the model store and the engine's resume artifacts, so a broken
+/// directory should stop the run.
+pub fn atomic_publish(dir: &Path, file_name: &str, contents: &str) {
+    static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let tmp = dir.join(format!(
+        "{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, contents).unwrap_or_else(|e| panic!("write {}: {e}", tmp.display()));
+    let path = dir.join(file_name);
+    std::fs::rename(&tmp, &path).unwrap_or_else(|e| panic!("publish {}: {e}", path.display()));
+}
+
+/// Hit/miss/save counters of a store, for cache-effectiveness assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Successful loads.
+    pub hits: usize,
+    /// Failed loads.
+    pub misses: usize,
+    /// Models written.
+    pub saves: usize,
+}
+
+/// A content-addressed model cache. Implementations are thread-safe: sweep
+/// workers share one store behind `&dyn ModelStore`.
+pub trait ModelStore: Sync {
+    /// The model stored under `key`, if any. Counts a hit or a miss.
+    fn load(&self, key: &CorpusFingerprint) -> Option<TrainedAttack>;
+
+    /// Stores `model` under `key`, replacing any previous entry.
+    fn save(&self, key: &CorpusFingerprint, model: &TrainedAttack);
+
+    /// Counters accumulated since construction.
+    fn counters(&self) -> StoreCounters;
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    saves: AtomicUsize,
+}
+
+impl Counters {
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            saves: self.saves.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// In-memory store: amortises training across cells of one process.
+#[derive(Debug, Default)]
+pub struct MemoryModelStore {
+    models: Mutex<HashMap<CorpusFingerprint, TrainedAttack>>,
+    counters: Counters,
+}
+
+impl MemoryModelStore {
+    /// An empty store.
+    pub fn new() -> MemoryModelStore {
+        MemoryModelStore::default()
+    }
+
+    /// Number of models currently held.
+    pub fn len(&self) -> usize {
+        self.models.lock().expect("store poisoned").len()
+    }
+
+    /// Whether the store holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ModelStore for MemoryModelStore {
+    fn load(&self, key: &CorpusFingerprint) -> Option<TrainedAttack> {
+        let found = self
+            .models
+            .lock()
+            .expect("store poisoned")
+            .get(key)
+            .cloned();
+        self.counters.record(found.is_some());
+        found
+    }
+
+    fn save(&self, key: &CorpusFingerprint, model: &TrainedAttack) {
+        self.models
+            .lock()
+            .expect("store poisoned")
+            .insert(*key, model.clone());
+        self.counters.saves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counters(&self) -> StoreCounters {
+        self.counters.snapshot()
+    }
+}
+
+/// On-disk store: a directory of `<fingerprint>.json` models shared across
+/// processes, shards and runs.
+#[derive(Debug)]
+pub struct DiskModelStore {
+    dir: PathBuf,
+    counters: Counters,
+}
+
+impl DiskModelStore {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from `create_dir_all` when the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskModelStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskModelStore {
+            dir,
+            counters: Counters::default(),
+        })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name_of(key: &CorpusFingerprint) -> String {
+        format!("{}.json", key.to_hex())
+    }
+
+    fn path_of(&self, key: &CorpusFingerprint) -> PathBuf {
+        self.dir.join(Self::file_name_of(key))
+    }
+}
+
+impl ModelStore for DiskModelStore {
+    /// A missing, unreadable or unparsable file is a miss — a corrupt entry
+    /// falls back to re-training rather than aborting the sweep.
+    fn load(&self, key: &CorpusFingerprint) -> Option<TrainedAttack> {
+        let found = std::fs::read_to_string(self.path_of(key))
+            .ok()
+            .and_then(|json| TrainedAttack::from_json(&json).ok());
+        self.counters.record(found.is_some());
+        found
+    }
+
+    /// # Panics
+    ///
+    /// Panics as [`atomic_publish`] does — a broken cache directory should
+    /// stop the run rather than silently re-train every cell.
+    fn save(&self, key: &CorpusFingerprint, model: &TrainedAttack) {
+        let json = model.to_json().expect("serialise trained model");
+        atomic_publish(&self.dir, &Self::file_name_of(key), &json);
+        self.counters.saves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counters(&self) -> StoreCounters {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AttackConfig;
+    use crate::model::{AttackModel, LossKind, ModelKind};
+    use crate::vector_features::Normalizer;
+
+    fn tiny_model(seed: u64) -> TrainedAttack {
+        TrainedAttack {
+            model: AttackModel::new(ModelKind::VecOnly, LossKind::SoftmaxRegression, 0, seed),
+            normalizer: Normalizer::fit(std::iter::empty()),
+            config: AttackConfig::fast(),
+        }
+    }
+
+    fn key(n: u64) -> CorpusFingerprint {
+        CorpusFingerprint([n, !n])
+    }
+
+    #[test]
+    fn memory_store_round_trips_and_counts() {
+        let store = MemoryModelStore::new();
+        assert!(store.load(&key(1)).is_none());
+        store.save(&key(1), &tiny_model(1));
+        let back = store.load(&key(1)).expect("stored model");
+        assert_eq!(back.config, AttackConfig::fast());
+        assert!(store.load(&key(2)).is_none());
+        assert_eq!(
+            store.counters(),
+            StoreCounters {
+                hits: 1,
+                misses: 2,
+                saves: 1
+            }
+        );
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn disk_store_round_trips_across_instances() {
+        let dir = std::env::temp_dir().join(format!("deepsplit-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskModelStore::open(&dir).unwrap();
+        assert!(store.load(&key(7)).is_none());
+        let model = tiny_model(7);
+        store.save(&key(7), &model);
+
+        // A second instance (fresh process, conceptually) sees the entry.
+        let reopened = DiskModelStore::open(&dir).unwrap();
+        let back = reopened.load(&key(7)).expect("persisted model");
+        assert_eq!(back.model.kind, model.model.kind);
+        assert_eq!(
+            reopened.counters(),
+            StoreCounters {
+                hits: 1,
+                misses: 0,
+                saves: 0
+            }
+        );
+
+        // Corrupt entries degrade to a miss, not a crash.
+        std::fs::write(store.path_of(&key(9)), "{not json").unwrap();
+        assert!(reopened.load(&key(9)).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

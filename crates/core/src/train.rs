@@ -4,7 +4,9 @@
 
 use crate::config::AttackConfig;
 use crate::dataset::{fit_normalizer, PreparedDesign};
+use crate::fingerprint::CorpusFingerprint;
 use crate::model::{AttackModel, LossKind, ModelKind};
+use crate::store::ModelStore;
 use crate::vector_features::Normalizer;
 use deepsplit_nn::layers::{add_grads, export_grads, scale_grads, Params};
 use deepsplit_nn::loss::{softmax_regression, two_class};
@@ -174,9 +176,40 @@ pub fn train(designs: &[PreparedDesign], config: &AttackConfig) -> (TrainedAttac
     )
 }
 
+/// Content-addressed training: returns the model stored under `key` when the
+/// store has one, otherwise builds the corpus (the closure runs only on a
+/// miss — a hit skips corpus preparation entirely), trains, and stores the
+/// result.
+///
+/// `Some(report)` is returned only when training actually ran, so
+/// `report.is_none()` (equivalently, the store's hit counter) witnesses that
+/// a cell performed zero training epochs.
+///
+/// # Panics
+///
+/// Panics as [`train`] does when training runs.
+pub fn train_or_load<F>(
+    key: &CorpusFingerprint,
+    store: &dyn ModelStore,
+    config: &AttackConfig,
+    corpus: F,
+) -> (TrainedAttack, Option<TrainReport>)
+where
+    F: FnOnce() -> Vec<PreparedDesign>,
+{
+    if let Some(model) = store.load(key) {
+        return (model, None);
+    }
+    let designs = corpus();
+    let (trained, report) = train(&designs, config);
+    store.save(key, &trained);
+    (trained, Some(report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::MemoryModelStore;
     use deepsplit_layout::design::{Design, ImplementConfig};
     use deepsplit_layout::geom::Layer;
     use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
@@ -252,6 +285,30 @@ mod tests {
         let json = trained.to_json().unwrap();
         let back = TrainedAttack::from_json(&json).unwrap();
         assert_eq!(back.config, trained.config);
+    }
+
+    #[test]
+    fn train_or_load_skips_training_on_hit() {
+        let config = AttackConfig {
+            epochs: 2,
+            ..tiny_config(false)
+        };
+        let designs = vec![prepared(Benchmark::C432, 1, &config)];
+        let store = MemoryModelStore::new();
+        let key = CorpusFingerprint([41, 42]);
+
+        let (cold, report) = train_or_load(&key, &store, &config, move || designs);
+        assert!(report.is_some(), "cold run must train");
+
+        // Warm run: the corpus closure must not even be called.
+        let (warm, report) = train_or_load(&key, &store, &config, || {
+            panic!("cache hit must not rebuild the corpus")
+        });
+        assert!(report.is_none(), "warm run must not train");
+        assert_eq!(store.counters().hits, 1);
+        assert_eq!(store.counters().misses, 1);
+        // The cached model carries the same weights: identical JSON encoding.
+        assert_eq!(cold.to_json().unwrap(), warm.to_json().unwrap());
     }
 
     #[test]

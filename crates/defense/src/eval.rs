@@ -9,10 +9,13 @@
 //! undefended model would overstate every defense.
 
 use crate::{apply, DefenseConfig, DefenseStats};
+use deepsplit_core::attack::attack_with_threads;
 use deepsplit_core::config::AttackConfig;
 use deepsplit_core::dataset::PreparedDesign;
+use deepsplit_core::fingerprint::{CorpusFingerprint, StableHasher};
 use deepsplit_core::recover::functional_recovery;
-use deepsplit_core::{attack, train};
+use deepsplit_core::train;
+use deepsplit_core::train::TrainedAttack;
 use deepsplit_flow::attack::{network_flow_attack, FlowAttackConfig, FlowOutcome};
 use deepsplit_flow::metrics::ccr;
 use deepsplit_flow::proximity::proximity_attack;
@@ -169,18 +172,37 @@ pub fn evaluate(
     evaluate_base(&EvalBase::build(bench, cfg), split_layer, defense, cfg)
 }
 
-/// Evaluates one cell against pre-implemented base layouts.
+/// Evaluates one cell against pre-implemented base layouts: trains on the
+/// defended corpus, then runs every attacker. Orchestrated sweeps (the
+/// `deepsplit-engine` crate) call the two phases separately so a model-store
+/// hit can skip [`defended_corpus`] and training entirely.
 pub fn evaluate_base(
     base: &EvalBase,
     split_layer: Layer,
     defense: &DefenseConfig,
     cfg: &EvalConfig,
 ) -> EvalOutcome {
-    let defended = apply(&base.victim, &cfg.implement, split_layer, defense);
+    let corpus = defended_corpus(base, split_layer, defense, cfg);
+    let (trained, _) = train::train(&corpus, &cfg.attack);
+    attack_cell(
+        base,
+        split_layer,
+        defense,
+        cfg,
+        &trained,
+        cfg.attack.effective_threads(),
+    )
+}
 
-    // Adaptive attacker: the training corpus carries the same defense.
-    let corpus: Vec<PreparedDesign> = base
-        .corpus
+/// Training phase of one cell: the adaptive attacker's corpus, carrying the
+/// same defense as the victim, prepared for [`deepsplit_core::train::train`].
+pub fn defended_corpus(
+    base: &EvalBase,
+    split_layer: Layer,
+    defense: &DefenseConfig,
+    cfg: &EvalConfig,
+) -> Vec<PreparedDesign> {
+    base.corpus
         .iter()
         .map(|d| {
             let dd = apply(d, &cfg.implement, split_layer, defense);
@@ -188,11 +210,70 @@ pub fn evaluate_base(
             p.truncate_queries(cfg.train_query_cap, cfg.train_seed);
             p
         })
-        .collect();
-    let (trained, _) = train::train(&corpus, &cfg.attack);
+        .collect()
+}
 
+/// Content address of the corpus a cell's model is trained on: everything
+/// that shapes the trained weights — the attack configuration (with the
+/// thread count *resolved*, since gradient-accumulation order depends on
+/// it), the physical-implementation settings, the defense, the split layer,
+/// and the exact `(benchmark, seed)` corpus list after victim exclusion.
+///
+/// Equal fingerprints train bit-identical models, so this keys the
+/// [`deepsplit_core::store::ModelStore`]: cells of *different* victims that
+/// share a corpus (same defense, strength and layer, same surviving training
+/// designs) resolve to one training run.
+pub fn corpus_fingerprint(
+    victim: Benchmark,
+    split_layer: Layer,
+    defense: &DefenseConfig,
+    cfg: &EvalConfig,
+) -> CorpusFingerprint {
+    let mut attack = cfg.attack.clone();
+    attack.threads = attack.effective_threads();
+    let json = |label: &str, s: serde_json::Result<String>| -> String {
+        s.unwrap_or_else(|e| panic!("serialise {label} for fingerprint: {e}"))
+    };
+    let mut h = StableHasher::new();
+    h.write_str(&json("attack config", serde_json::to_string(&attack)));
+    h.write_str(&json(
+        "implement config",
+        serde_json::to_string(&cfg.implement),
+    ));
+    h.write_str(&json("defense config", serde_json::to_string(defense)));
+    h.write_u64(u64::from(split_layer.0));
+    h.write_f64(cfg.scale);
+    h.write_u64(cfg.train_seed);
+    h.write_usize(cfg.train_query_cap);
+    for (i, tb) in cfg
+        .train_benchmarks
+        .iter()
+        .filter(|&&tb| tb != victim)
+        .enumerate()
+    {
+        h.write_str(tb.name());
+        h.write_u64(cfg.train_seed + i as u64);
+    }
+    h.finish()
+}
+
+/// Attack phase of one cell: defends the victim and runs the trained DL
+/// attack plus the network-flow, proximity and functional-recovery
+/// evaluations, with `threads` workers for DL inference.
+///
+/// Inference is thread-count invariant, so `threads` is a scheduling choice
+/// (see [`deepsplit_nn::parallel::split_budget`]), not part of the result.
+pub fn attack_cell(
+    base: &EvalBase,
+    split_layer: Layer,
+    defense: &DefenseConfig,
+    cfg: &EvalConfig,
+    trained: &TrainedAttack,
+    threads: usize,
+) -> EvalOutcome {
+    let defended = apply(&base.victim, &cfg.implement, split_layer, defense);
     let victim = PreparedDesign::prepare(&defended.design, split_layer, &cfg.attack);
-    let outcome = attack::attack(&trained, &victim);
+    let outcome = attack_with_threads(trained, &victim, threads);
     let dl_ccr = ccr(&victim.view, &outcome.assignment);
 
     let proximity_ccr = ccr(&victim.view, &proximity_attack(&victim.view));
@@ -268,6 +349,58 @@ mod tests {
         }
         // The trained attack must beat chance on an undefended layout.
         assert!(s.dl_ccr > 2.0 * s.chance_ccr);
+    }
+
+    #[test]
+    fn fingerprint_tracks_everything_that_shapes_the_model() {
+        let cfg = tiny();
+        let lift = DefenseConfig {
+            kind: DefenseKind::Lift,
+            strength: 1.0,
+            seed: 11,
+        };
+        let base = corpus_fingerprint(Benchmark::C432, Layer(3), &DefenseConfig::none(), &cfg);
+        assert_ne!(
+            base,
+            corpus_fingerprint(Benchmark::C432, Layer(3), &lift, &cfg),
+            "defense must change the fingerprint"
+        );
+        assert_ne!(
+            base,
+            corpus_fingerprint(Benchmark::C432, Layer(2), &DefenseConfig::none(), &cfg),
+            "split layer must change the fingerprint"
+        );
+        let mut more_epochs = cfg.clone();
+        more_epochs.attack.epochs += 1;
+        assert_ne!(
+            base,
+            corpus_fingerprint(
+                Benchmark::C432,
+                Layer(3),
+                &DefenseConfig::none(),
+                &more_epochs
+            ),
+            "attack config must change the fingerprint"
+        );
+        let mut threads = cfg.clone();
+        threads.attack.threads = 5;
+        assert_ne!(
+            base,
+            corpus_fingerprint(Benchmark::C432, Layer(3), &DefenseConfig::none(), &threads),
+            "training thread count shapes the weights, so it must be keyed"
+        );
+        // Victims outside the training list leave the corpus — and therefore
+        // the model — unchanged: the fingerprints coincide and one training
+        // run serves both cells.
+        assert_eq!(
+            base,
+            corpus_fingerprint(Benchmark::C1908, Layer(3), &DefenseConfig::none(), &cfg)
+        );
+        // A victim inside the training list shrinks the corpus.
+        assert_ne!(
+            base,
+            corpus_fingerprint(Benchmark::C880, Layer(3), &DefenseConfig::none(), &cfg)
+        );
     }
 
     #[test]

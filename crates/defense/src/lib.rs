@@ -21,8 +21,11 @@
 //! [`eval`] module re-trains the attack on an *equally defended* corpus (the
 //! adaptive-attacker protocol of the paper's threat model) and measures ΔCCR
 //! for the DL, network-flow and proximity attacks plus functional recovery
-//! and PPA overhead; [`sweep`] fans a defense × strength × benchmark ×
-//! split-layer matrix out over worker threads.
+//! and PPA overhead; [`sweep`] specifies the defense × strength × benchmark
+//! × split-layer matrix (cell expansion, shard partitioning, rendering).
+//! Matrix *execution* — model-store caching, shard scheduling, resumable
+//! artifacts, Pareto reporting — lives in the `deepsplit-engine` crate,
+//! which drives the per-cell primitives exported here.
 
 pub mod decoy;
 pub mod eval;

@@ -1,20 +1,21 @@
-//! The defense × strength × benchmark × split-layer matrix, fanned out over
-//! worker threads with `deepsplit_nn::parallel::parallel_map`.
+//! The defense × strength × benchmark × split-layer matrix **specification**:
+//! cell expansion (with shard partitioning for multi-process scale-out) and
+//! result presentation.
 //!
-//! Each cell defends the victim, re-trains the DL attack on an equally
-//! defended corpus and runs all three attackers — cells are fully independent
-//! and embarrassingly parallel, so the sweep parallelises across cells and
-//! forces each cell's inner attack to a single thread (fan-out × fan-in
-//! oversubscription would otherwise thrash the core count). The undefended
-//! base implementations are shared: one [`EvalBase`] per benchmark, not one
-//! place-and-route per cell.
+//! Execution lives in the `deepsplit-engine` crate, which owns the full
+//! matrix lifecycle — content-addressed model caching, shard-aware
+//! scheduling, resumable per-cell artifacts and Pareto reporting. This
+//! module stays dependency-light so both the engine and ad-hoc callers can
+//! share one definition of what a matrix *is*.
 
-use crate::eval::{evaluate_base, EvalBase, EvalConfig, EvalOutcome};
+use crate::eval::{EvalConfig, EvalOutcome};
 use crate::{DefenseConfig, DefenseKind};
 use deepsplit_layout::geom::Layer;
 use deepsplit_netlist::benchmarks::Benchmark;
-use deepsplit_nn::parallel::{default_threads, parallel_map};
 use serde::{Deserialize, Serialize};
+
+/// One matrix cell: victim benchmark, split layer, defense instantiation.
+pub type Cell = (Benchmark, Layer, DefenseConfig);
 
 /// The sweep matrix specification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,9 +23,11 @@ pub struct SweepConfig {
     /// Per-cell evaluation protocol.
     pub eval: EvalConfig,
     /// Defenses to sweep. [`DefenseKind::None`] is always evaluated once per
-    /// `(benchmark, layer)` as the baseline row, whether listed or not.
+    /// `(benchmark, layer)` as the baseline row, whether listed or not;
+    /// listing it (or any kind) repeatedly never duplicates cells.
     pub kinds: Vec<DefenseKind>,
-    /// Strength grid applied to every non-baseline defense.
+    /// Strength grid applied to every non-baseline defense (duplicates are
+    /// collapsed).
     pub strengths: Vec<f64>,
     /// Victim benchmarks.
     pub benchmarks: Vec<Benchmark>,
@@ -32,8 +35,15 @@ pub struct SweepConfig {
     pub split_layers: Vec<Layer>,
     /// Seed handed to every defense instantiation.
     pub defense_seed: u64,
-    /// Worker threads across cells (0 = auto).
+    /// Worker threads across cells (0 = auto). The engine splits this budget
+    /// between the cell fan-out and per-cell inference via
+    /// [`deepsplit_nn::parallel::split_budget`].
     pub threads: usize,
+    /// `(index, count)` partition of [`SweepConfig::cells`]: this process
+    /// evaluates only the cells with `cell_index % count == index`, so a
+    /// matrix can be split across processes or machines and reassembled with
+    /// the engine's merge step. `(0, 1)` — the default — is the whole matrix.
+    pub shard: (usize, usize),
 }
 
 impl SweepConfig {
@@ -48,17 +58,34 @@ impl SweepConfig {
             split_layers: vec![Layer(3)],
             defense_seed: 11,
             threads: 0,
+            shard: (0, 1),
         }
     }
 
-    /// The cells this matrix expands to, baseline first per `(bench, layer)`.
-    pub fn cells(&self) -> Vec<(Benchmark, Layer, DefenseConfig)> {
+    /// The full matrix this spec expands to, baseline first per
+    /// `(bench, layer)` — independent of [`SweepConfig::shard`], so every
+    /// shard agrees on cell indices. Duplicate kinds and strengths (including
+    /// an explicitly listed [`DefenseKind::None`], which would otherwise
+    /// repeat the baseline row) are collapsed.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut kinds: Vec<DefenseKind> = Vec::new();
+        for &kind in self.kinds.iter().filter(|&&k| k != DefenseKind::None) {
+            if !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+        let mut strengths: Vec<f64> = Vec::new();
+        for &s in &self.strengths {
+            if !strengths.contains(&s) {
+                strengths.push(s);
+            }
+        }
         let mut cells = Vec::new();
         for &bench in &self.benchmarks {
             for &layer in &self.split_layers {
                 cells.push((bench, layer, DefenseConfig::none()));
-                for &kind in self.kinds.iter().filter(|&&k| k != DefenseKind::None) {
-                    for &strength in &self.strengths {
+                for &kind in &kinds {
+                    for &strength in &strengths {
                         cells.push((
                             bench,
                             layer,
@@ -74,40 +101,25 @@ impl SweepConfig {
         }
         cells
     }
-}
 
-/// Runs the matrix; the result order matches [`SweepConfig::cells`] and is
-/// deterministic for a fixed config (worker count does not change results —
-/// `parallel_map` preserves order and every cell pins its inner thread count).
-pub fn sweep(config: &SweepConfig) -> Vec<EvalOutcome> {
-    let cells = config.cells();
-    let threads = if config.threads == 0 {
-        default_threads()
-    } else {
-        config.threads
-    };
-    let mut eval = config.eval.clone();
-    if cells.len() > 1 {
-        eval.attack.threads = 1;
+    /// The cells assigned to this shard, as `(global index, cell)` pairs in
+    /// index order. Round-robin by index, so a strength sweep's expensive
+    /// high-strength cells spread across shards instead of piling onto one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is not a valid partition (`count == 0` or
+    /// `index >= count`).
+    pub fn shard_cells(&self) -> Vec<(usize, Cell)> {
+        let (index, count) = self.shard;
+        assert!(count >= 1, "shard count must be at least 1");
+        assert!(index < count, "shard index {index} outside 0..{count}");
+        self.cells()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % count == index)
+            .collect()
     }
-    // The undefended base implementations are defense-independent; build them
-    // once per benchmark (in parallel) instead of once per cell.
-    let bases: Vec<EvalBase> = parallel_map(
-        &config.benchmarks,
-        threads.min(config.benchmarks.len().max(1)),
-        |&bench| EvalBase::build(bench, &eval),
-    );
-    parallel_map(
-        &cells,
-        threads.min(cells.len().max(1)),
-        |(bench, layer, defense)| {
-            let base = bases
-                .iter()
-                .find(|b| b.benchmark == *bench)
-                .expect("base built for every benchmark");
-            evaluate_base(base, *layer, defense, &eval)
-        },
-    )
 }
 
 /// The baseline (undefended) cell for `result`'s `(benchmark, layer)` pair.
@@ -201,6 +213,95 @@ mod tests {
         assert_eq!(baselines, 4);
         // 4 pairs × (1 baseline + 4 defenses × 2 strengths)
         assert_eq!(cells.len(), 4 * (1 + 4 * 2));
+    }
+
+    #[test]
+    fn explicit_none_and_repeated_kinds_do_not_duplicate_cells() {
+        let mut config = SweepConfig::fast();
+        config.kinds = vec![
+            DefenseKind::None,
+            DefenseKind::Lift,
+            DefenseKind::None,
+            DefenseKind::Lift,
+        ];
+        config.strengths = vec![0.5, 1.0, 0.5];
+        let cells = config.cells();
+        let baselines = cells
+            .iter()
+            .filter(|(_, _, d)| d.kind == DefenseKind::None)
+            .count();
+        assert_eq!(baselines, 1, "baseline row must appear exactly once");
+        // 1 baseline + lift × {0.5, 1.0}.
+        assert_eq!(cells.len(), 3);
+        let mut sorted = cells.clone();
+        sorted.sort_by(|a, b| {
+            (a.2.kind.name(), a.2.strength.to_bits())
+                .cmp(&(b.2.kind.name(), b.2.strength.to_bits()))
+        });
+        sorted.dedup();
+        assert_eq!(sorted.len(), cells.len(), "no duplicate cells");
+    }
+
+    #[test]
+    fn shards_partition_the_matrix_exactly() {
+        let mut config = SweepConfig::fast();
+        config.benchmarks = vec![Benchmark::C432, Benchmark::C880];
+        config.split_layers = vec![Layer(1), Layer(3)];
+        let all = config.cells();
+        for count in 1..=all.len() + 1 {
+            let mut seen: Vec<(usize, Cell)> = Vec::new();
+            for index in 0..count {
+                config.shard = (index, count);
+                seen.extend(config.shard_cells());
+            }
+            seen.sort_by_key(|(i, _)| *i);
+            let reassembled: Vec<Cell> = seen.iter().map(|(_, c)| c.clone()).collect();
+            let indices: Vec<usize> = seen.iter().map(|(i, _)| *i).collect();
+            assert_eq!(indices, (0..all.len()).collect::<Vec<_>>(), "count {count}");
+            assert_eq!(reassembled, all, "count {count}");
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn shards_partition_arbitrary_matrices(
+            nbench in 1usize..4,
+            nlayers in 1usize..4,
+            nkinds in 0usize..6,
+            strengths in proptest::collection::vec(0.0f64..1.0, 0..4),
+            count in 1usize..8,
+        ) {
+            let mut config = SweepConfig::fast();
+            config.benchmarks = Benchmark::all()[..nbench].to_vec();
+            config.split_layers = (1..=nlayers as u8).map(Layer).collect();
+            // May include `None` and, via modular indexing, repeated kinds —
+            // exercising the dedup path.
+            config.kinds = (0..nkinds)
+                .map(|i| DefenseKind::all()[i % DefenseKind::all().len()])
+                .collect();
+            config.strengths = strengths;
+            let all = config.cells();
+            let mut seen: Vec<(usize, Cell)> = Vec::new();
+            for index in 0..count {
+                config.shard = (index, count);
+                seen.extend(config.shard_cells());
+            }
+            seen.sort_by_key(|(i, _)| *i);
+            let indices: Vec<usize> = seen.iter().map(|(i, _)| *i).collect();
+            let reassembled: Vec<Cell> = seen.into_iter().map(|(_, c)| c).collect();
+            prop_assert_eq!(indices, (0..all.len()).collect::<Vec<_>>());
+            prop_assert_eq!(reassembled, all);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index")]
+    fn shard_index_out_of_range_panics() {
+        let mut config = SweepConfig::fast();
+        config.shard = (2, 2);
+        config.shard_cells();
     }
 
     #[test]

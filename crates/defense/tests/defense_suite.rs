@@ -5,7 +5,6 @@
 
 use deepsplit_core::config::AttackConfig;
 use deepsplit_defense::eval::{evaluate, EvalConfig};
-use deepsplit_defense::sweep::{protection_factor, render_matrix, sweep, SweepConfig};
 use deepsplit_defense::{apply, DefenseConfig, DefenseKind};
 use deepsplit_layout::design::{Design, ImplementConfig};
 use deepsplit_layout::geom::Layer;
@@ -131,25 +130,5 @@ fn strongest_combined_defense_nears_chance_and_costs_wirelength() {
     assert!(combined.scores.recovery <= baseline.scores.recovery + 1e-9);
 }
 
-#[test]
-fn sweep_is_deterministic_for_a_fixed_seed() {
-    let mut config = SweepConfig::fast();
-    config.eval = tiny_eval();
-    config.kinds = vec![DefenseKind::Lift, DefenseKind::Decoy];
-    config.strengths = vec![1.0];
-    config.benchmarks = vec![Benchmark::C432];
-    config.split_layers = vec![Layer(3)];
-
-    let a = sweep(&config);
-    let b = sweep(&config);
-    assert_eq!(a, b, "sweep must be bit-identical for a fixed config");
-    assert_eq!(render_matrix(&a), render_matrix(&b));
-
-    // Baseline row first, then one row per (kind, strength).
-    assert_eq!(a.len(), 3);
-    assert_eq!(a[0].defense.kind, DefenseKind::None);
-    for r in &a {
-        let f = protection_factor(&a, r);
-        assert!(f >= 0.0, "protection factor {f} must be non-negative");
-    }
-}
+// Sweep-level invariants (determinism, caching, sharding, resume) live in
+// `crates/engine/tests/engine_suite.rs` — the engine crate owns execution.

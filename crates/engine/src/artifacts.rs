@@ -1,0 +1,271 @@
+//! Resumable per-cell JSON artifacts.
+//!
+//! Every completed cell is published as `cell-<index>.json` in the run's
+//! artifact directory (atomically: temp file + rename, so concurrent shards
+//! may share one directory). A `--resume` run reloads whatever is already
+//! there instead of re-evaluating, and the merge step reassembles the full
+//! matrix from any combination of shard runs.
+
+use deepsplit_core::fingerprint::{CorpusFingerprint, StableHasher};
+use deepsplit_core::store::atomic_publish;
+use deepsplit_defense::eval::EvalOutcome;
+use deepsplit_defense::sweep::{Cell, SweepConfig};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// The on-disk form of one completed cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellArtifact {
+    /// Global index in [`SweepConfig::cells`].
+    pub index: usize,
+    /// Total cell count of the matrix the artifact belongs to.
+    pub total: usize,
+    /// The evaluation protocol the result was produced under
+    /// ([`protocol_fingerprint`]); cell coordinates alone don't pin the
+    /// scores.
+    pub protocol: CorpusFingerprint,
+    /// The cell's evaluation result.
+    pub outcome: EvalOutcome,
+}
+
+/// Stable identity of everything a cell's scores depend on *beyond* its
+/// coordinates: the full evaluation protocol and the defense seed. Resuming
+/// or merging only accepts artifacts stamped with the same protocol, so a
+/// re-run with, say, `--images` (same matrix shape, different scores) can
+/// never silently reuse vector-only results.
+///
+/// The attack thread count is canonicalised out: engine results are
+/// thread-invariant (training is pinned, inference is order-preserving), so
+/// a different thread budget must not orphan artifacts.
+pub fn protocol_fingerprint(config: &SweepConfig) -> CorpusFingerprint {
+    let mut eval = config.eval.clone();
+    eval.attack.threads = 0;
+    let mut h = StableHasher::new();
+    h.write_str(&serde_json::to_string(&eval).expect("serialise eval config"));
+    h.write_u64(config.defense_seed);
+    h.finish()
+}
+
+fn artifact_name(index: usize) -> String {
+    format!("cell-{index:06}.json")
+}
+
+/// The artifact path of cell `index`.
+pub fn artifact_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(artifact_name(index))
+}
+
+/// Atomically publishes one completed cell (via
+/// [`deepsplit_core::store::atomic_publish`]).
+///
+/// # Panics
+///
+/// Panics when the artifact cannot be written — losing resume state silently
+/// would make an interrupted run unrecoverable.
+pub fn write_artifact(
+    dir: &Path,
+    index: usize,
+    total: usize,
+    protocol: CorpusFingerprint,
+    outcome: &EvalOutcome,
+) {
+    let artifact = CellArtifact {
+        index,
+        total,
+        protocol,
+        outcome: outcome.clone(),
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("serialise cell artifact");
+    atomic_publish(dir, &artifact_name(index), &json);
+}
+
+/// Loads cell `index` if a valid artifact for exactly this
+/// `(matrix, protocol, cell)` exists. A missing, unparsable or mismatched
+/// artifact (different matrix size, evaluation protocol, benchmark, layer,
+/// defense kind or strength — e.g. left over from a differently-configured
+/// sweep in the same directory) returns `None`, and the cell is simply
+/// re-evaluated.
+pub fn load_artifact(
+    dir: &Path,
+    index: usize,
+    total: usize,
+    protocol: CorpusFingerprint,
+    cell: &Cell,
+) -> Option<EvalOutcome> {
+    let json = std::fs::read_to_string(artifact_path(dir, index)).ok()?;
+    let artifact: CellArtifact = serde_json::from_str(&json).ok()?;
+    let (bench, layer, defense) = cell;
+    let matches = artifact.index == index
+        && artifact.total == total
+        && artifact.protocol == protocol
+        && artifact.outcome.benchmark == bench.name()
+        && artifact.outcome.split_layer == layer.0
+        && artifact.outcome.defense.kind == defense.kind
+        && artifact.outcome.defense.strength.to_bits() == defense.strength.to_bits();
+    matches.then_some(artifact.outcome)
+}
+
+/// Reassembles the full matrix from `dir`, in cell order.
+///
+/// # Errors
+///
+/// Lists every missing or mismatched cell, so an operator can see which
+/// shard still has to run (or re-run) before the merge can succeed.
+pub fn merge_artifacts(
+    dir: &Path,
+    cells: &[Cell],
+    protocol: CorpusFingerprint,
+) -> Result<Vec<EvalOutcome>, String> {
+    let mut outcomes = Vec::with_capacity(cells.len());
+    let mut missing = Vec::new();
+    for (index, cell) in cells.iter().enumerate() {
+        match load_artifact(dir, index, cells.len(), protocol, cell) {
+            Some(outcome) => outcomes.push(outcome),
+            None => missing.push(index),
+        }
+    }
+    if missing.is_empty() {
+        Ok(outcomes)
+    } else {
+        Err(format!(
+            "{} of {} cells missing or mismatched in {}: {:?}",
+            missing.len(),
+            cells.len(),
+            dir.display(),
+            missing
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsplit_defense::eval::AttackScores;
+    use deepsplit_defense::{DefenseConfig, DefenseKind, DefenseStats};
+    use deepsplit_layout::geom::Layer;
+    use deepsplit_netlist::benchmarks::Benchmark;
+
+    fn outcome(bench: &str, layer: u8, kind: DefenseKind, strength: f64) -> EvalOutcome {
+        EvalOutcome {
+            benchmark: bench.to_string(),
+            split_layer: layer,
+            defense: DefenseStats {
+                kind,
+                strength,
+                swapped_cells: 0,
+                lifted_nets: 0,
+                decoy_vias: 0,
+                base_wirelength: 100,
+                defended_wirelength: 110,
+                base_vias: 10,
+                defended_vias: 12,
+                base_beol_wirelength: 50,
+                defended_beol_wirelength: 60,
+            },
+            scores: AttackScores {
+                sink_fragments: 4,
+                source_fragments: 5,
+                dl_ccr: 0.25,
+                flow_ccr: Some(0.5),
+                proximity_ccr: 0.4,
+                chance_ccr: 0.2,
+                recovery: 0.75,
+            },
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("deepsplit-artifacts-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn artifact_round_trip_and_validation() {
+        let dir = tempdir("roundtrip");
+        let protocol = CorpusFingerprint([7, 8]);
+        let cell: Cell = (
+            Benchmark::C432,
+            Layer(3),
+            DefenseConfig {
+                kind: DefenseKind::Lift,
+                strength: 1.0,
+                seed: 11,
+            },
+        );
+        let out = outcome("c432", 3, DefenseKind::Lift, 1.0);
+        write_artifact(&dir, 1, 2, protocol, &out);
+        assert_eq!(load_artifact(&dir, 1, 2, protocol, &cell), Some(out));
+        // Wrong matrix size, protocol, layer or defense → not resumable.
+        assert_eq!(load_artifact(&dir, 1, 3, protocol, &cell), None);
+        assert_eq!(
+            load_artifact(&dir, 1, 2, CorpusFingerprint([7, 9]), &cell),
+            None,
+            "a changed evaluation protocol must invalidate the artifact"
+        );
+        let other = (Benchmark::C432, Layer(1), cell.2.clone());
+        assert_eq!(load_artifact(&dir, 1, 2, protocol, &other), None);
+        let weaker = (
+            Benchmark::C432,
+            Layer(3),
+            DefenseConfig {
+                strength: 0.5,
+                ..cell.2.clone()
+            },
+        );
+        assert_eq!(load_artifact(&dir, 1, 2, protocol, &weaker), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn protocol_fingerprint_tracks_eval_and_seed_but_not_threads() {
+        let config = SweepConfig::fast();
+        let base = protocol_fingerprint(&config);
+
+        let mut images = config.clone();
+        images.eval.attack.use_images = true;
+        assert_ne!(base, protocol_fingerprint(&images));
+
+        let mut seed = config.clone();
+        seed.defense_seed += 1;
+        assert_ne!(base, protocol_fingerprint(&seed));
+
+        // Results are thread-invariant, so the budget must not orphan
+        // artifacts.
+        let mut threads = config.clone();
+        threads.eval.attack.threads = 7;
+        threads.threads = 3;
+        assert_eq!(base, protocol_fingerprint(&threads));
+    }
+
+    #[test]
+    fn merge_reports_missing_cells() {
+        let dir = tempdir("merge");
+        let cells: Vec<Cell> = vec![
+            (Benchmark::C432, Layer(3), DefenseConfig::none()),
+            (
+                Benchmark::C432,
+                Layer(3),
+                DefenseConfig {
+                    kind: DefenseKind::Lift,
+                    strength: 1.0,
+                    seed: 11,
+                },
+            ),
+        ];
+        let protocol = CorpusFingerprint([3, 4]);
+        let baseline = outcome("c432", 3, DefenseKind::None, 0.0);
+        write_artifact(&dir, 0, 2, protocol, &baseline);
+        let err = merge_artifacts(&dir, &cells, protocol).unwrap_err();
+        assert!(err.contains("[1]"), "must name the missing cell: {err}");
+        let lifted = outcome("c432", 3, DefenseKind::Lift, 1.0);
+        write_artifact(&dir, 1, 2, protocol, &lifted);
+        assert_eq!(
+            merge_artifacts(&dir, &cells, protocol).unwrap(),
+            vec![baseline, lifted]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

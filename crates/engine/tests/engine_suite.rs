@@ -1,0 +1,179 @@
+//! Engine-level invariants: a fixed spec is bit-deterministic, the model
+//! store amortises training (warm runs perform zero epochs yet reproduce
+//! byte-identical artifacts), shards reassemble to the unsharded matrix,
+//! and resumed runs skip completed cells.
+
+use deepsplit_core::config::AttackConfig;
+use deepsplit_core::store::{DiskModelStore, MemoryModelStore};
+use deepsplit_defense::eval::EvalConfig;
+use deepsplit_defense::sweep::SweepConfig;
+use deepsplit_defense::DefenseKind;
+use deepsplit_engine::{
+    merge_artifacts, protocol_fingerprint, run, sweep, EngineConfig, MatrixReport,
+};
+use deepsplit_layout::geom::Layer;
+use deepsplit_netlist::benchmarks::Benchmark;
+use std::path::PathBuf;
+
+fn tiny_eval() -> EvalConfig {
+    EvalConfig {
+        attack: AttackConfig {
+            use_images: false,
+            candidates: 8,
+            epochs: 5,
+            batch_size: 16,
+            threads: 2,
+            ..AttackConfig::fast()
+        },
+        scale: 0.4,
+        train_benchmarks: vec![Benchmark::C880],
+        recovery_rounds: 6,
+        train_query_cap: 150,
+        ..EvalConfig::fast()
+    }
+}
+
+fn tiny_sweep(kinds: Vec<DefenseKind>, strengths: Vec<f64>) -> SweepConfig {
+    SweepConfig {
+        eval: tiny_eval(),
+        kinds,
+        strengths,
+        benchmarks: vec![Benchmark::C432],
+        split_layers: vec![Layer(3)],
+        defense_seed: 11,
+        threads: 2,
+        shard: (0, 1),
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("deepsplit-engine-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_store_skips_training_and_reproduces_bit_identical_results() {
+    let config = tiny_sweep(vec![DefenseKind::Lift], vec![1.0]);
+    let engine_config = EngineConfig::new(config.clone());
+    let store = MemoryModelStore::new();
+
+    let cold = run(&engine_config, &store);
+    assert_eq!(cold.stats.cells_total, 2);
+    assert_eq!(cold.stats.models_trained, 2, "two distinct corpora");
+    assert!(cold.stats.epochs_trained > 0);
+    assert_eq!(cold.stats.store.misses, 2);
+    assert!(cold.is_full());
+
+    // Same store, same spec: everything resolves from cache…
+    let warm = run(&engine_config, &store);
+    assert_eq!(warm.stats.models_trained, 0, "warm run must not train");
+    assert_eq!(warm.stats.epochs_trained, 0);
+    assert_eq!(warm.stats.store.hits, 2);
+    assert_eq!(warm.stats.store.misses, 0);
+    // …and same fingerprint → bit-identical scores and artifact bytes.
+    assert_eq!(cold.outcomes(), warm.outcomes());
+    assert_eq!(
+        MatrixReport::new(cold.outcomes()).to_json(),
+        MatrixReport::new(warm.outcomes()).to_json()
+    );
+
+    // A fresh store retrains but lands on the same bits: the sweep itself is
+    // deterministic for a fixed spec.
+    assert_eq!(sweep(&config), cold.outcomes());
+
+    // Baseline row first, and the report round-trips.
+    let outcomes = cold.outcomes();
+    assert_eq!(outcomes[0].defense.kind, DefenseKind::None);
+    let report = MatrixReport::new(outcomes);
+    assert_eq!(MatrixReport::from_json(&report.to_json()).unwrap(), report);
+}
+
+#[test]
+fn disk_store_amortises_across_instances() {
+    // Baseline-only matrix: one cell, one model.
+    let config = tiny_sweep(vec![], vec![]);
+    let engine_config = EngineConfig::new(config);
+    let dir = tempdir("store");
+
+    let cold_store = DiskModelStore::open(&dir).unwrap();
+    let cold = run(&engine_config, &cold_store);
+    assert_eq!(cold.stats.models_trained, 1);
+
+    // A fresh store instance on the same directory stands in for a second
+    // process (or a later run): zero epochs, byte-identical artifact.
+    let warm_store = DiskModelStore::open(&dir).unwrap();
+    let warm = run(&engine_config, &warm_store);
+    assert_eq!(warm.stats.epochs_trained, 0);
+    assert_eq!(warm.stats.store.hits, 1);
+    assert_eq!(
+        MatrixReport::new(cold.outcomes()).to_json(),
+        MatrixReport::new(warm.outcomes()).to_json(),
+        "a JSON-round-tripped model must reproduce exact scores"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_runs_merge_to_the_unsharded_matrix() {
+    let mut config = tiny_sweep(vec![DefenseKind::Lift], vec![0.5, 1.0]);
+    let store = MemoryModelStore::new();
+
+    let unsharded = run(&EngineConfig::new(config.clone()), &store);
+    assert_eq!(unsharded.stats.cells_total, 3);
+
+    let dir = tempdir("shards");
+    for index in 0..2 {
+        config.shard = (index, 2);
+        let shard_run = run(
+            &EngineConfig {
+                sweep: config.clone(),
+                artifacts_dir: Some(dir.clone()),
+                resume: false,
+            },
+            &store,
+        );
+        assert!(!shard_run.is_full());
+        assert_eq!(shard_run.stats.cells_in_shard, 2 - index);
+        assert_eq!(
+            shard_run.stats.epochs_trained, 0,
+            "shards share the unsharded run's store"
+        );
+    }
+
+    config.shard = (0, 1);
+    let merged = merge_artifacts(&dir, &config.cells(), protocol_fingerprint(&config))
+        .expect("all shards ran");
+    assert_eq!(
+        merged,
+        unsharded.outcomes(),
+        "merged == unsharded, in order"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_skips_completed_cells() {
+    let config = tiny_sweep(vec![DefenseKind::Decoy], vec![1.0]);
+    let dir = tempdir("resume");
+    let store = MemoryModelStore::new();
+    let engine_config = EngineConfig {
+        sweep: config,
+        artifacts_dir: Some(dir.clone()),
+        resume: true,
+    };
+
+    // Nothing to resume yet: evaluates and publishes artifacts.
+    let first = run(&engine_config, &store);
+    assert_eq!(first.stats.cells_resumed, 0);
+    assert_eq!(first.stats.cells_in_shard, 2);
+
+    // Second run finds every cell on disk: no training, no store traffic,
+    // identical results.
+    let resumed = run(&engine_config, &store);
+    assert_eq!(resumed.stats.cells_resumed, 2);
+    assert_eq!(resumed.stats.epochs_trained, 0);
+    assert_eq!(resumed.stats.store, Default::default());
+    assert_eq!(resumed.outcomes(), first.outcomes());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

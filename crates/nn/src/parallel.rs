@@ -44,6 +44,34 @@ pub fn default_threads() -> usize {
         .unwrap_or(4)
 }
 
+/// How a thread budget splits across a two-level fan-out: `outer` worker
+/// threads across independent tasks, each of which may itself run `inner`
+/// threads. `outer * inner <= budget` always holds, so nested `parallel_map`
+/// calls never oversubscribe the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPlan {
+    /// Worker threads across tasks.
+    pub outer: usize,
+    /// Threads available to each task's own parallelism.
+    pub inner: usize,
+}
+
+/// Splits `budget` threads between `items` independent tasks and each task's
+/// inner parallelism.
+///
+/// With more tasks than threads every task runs single-threaded (the clamp
+/// the defense sweep previously hard-coded); as the task count shrinks —
+/// fewer cells, or most cells resolved from a model-store cache — the spare
+/// budget flows back into per-task parallelism instead of idling.
+pub fn split_budget(items: usize, budget: usize) -> ThreadPlan {
+    let budget = budget.max(1);
+    let outer = budget.min(items.max(1));
+    ThreadPlan {
+        outer,
+        inner: (budget / outer).max(1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +102,29 @@ mod tests {
         let items = vec![5];
         let out = parallel_map(&items, 16, |&x| x * x);
         assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    fn split_budget_never_oversubscribes() {
+        for items in 0..20 {
+            for budget in 0..20 {
+                let plan = split_budget(items, budget);
+                assert!(plan.outer >= 1 && plan.inner >= 1);
+                assert!(plan.outer * plan.inner <= budget.max(1), "{plan:?}");
+                assert!(plan.outer <= items.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn split_budget_reclaims_spare_threads() {
+        // Saturated fan-out: tasks each get one thread.
+        assert_eq!(split_budget(24, 8), ThreadPlan { outer: 8, inner: 1 });
+        // Two tasks on eight threads: four threads each, not one.
+        assert_eq!(split_budget(2, 8), ThreadPlan { outer: 2, inner: 4 });
+        // One task owns the whole budget.
+        assert_eq!(split_budget(1, 8), ThreadPlan { outer: 1, inner: 8 });
+        // Degenerate inputs stay sane.
+        assert_eq!(split_budget(0, 0), ThreadPlan { outer: 1, inner: 1 });
     }
 }

@@ -5,8 +5,9 @@
 //! Earlier versions of this example hand-tweaked one router knob
 //! (`escape_frac`); it now drives the real thing — placement perturbation,
 //! targeted wire lifting and decoy vias from `deepsplit::defense`, evaluated
-//! with the re-train-on-defended-corpus protocol and fanned out over worker
-//! threads.
+//! with the re-train-on-defended-corpus protocol and executed by the sweep
+//! engine (cells sharing a training corpus share one training run via the
+//! in-memory model store).
 //!
 //! ```text
 //! cargo run --release --example defense_sweep
@@ -22,7 +23,7 @@ fn main() {
     config.split_layers = vec![Layer(3)];
     config.strengths = vec![0.5, 1.0];
 
-    let results = sweep::sweep(&config);
+    let results = engine::sweep(&config);
     print!("{}", sweep::render_matrix(&results));
 
     let strongest = results

@@ -13,6 +13,7 @@
 //! | [`flow`] | baselines: network-flow attack (Wang et al.) and naïve proximity attack, min-cost max-flow, CCR |
 //! | [`core`] | the paper's attack: candidates, vector/image features, hybrid network, training, inference |
 //! | [`defense`] | split-manufacturing defenses (perturbation, wire lifting, decoys) + the attack-vs-defense sweep harness |
+//! | [`engine`] | sharded sweep engine: content-addressed model store, resumable matrix execution, Pareto regression artifacts |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@
 
 pub use deepsplit_core as core;
 pub use deepsplit_defense as defense;
+pub use deepsplit_engine as engine;
 pub use deepsplit_flow as flow;
 pub use deepsplit_layout as layout;
 pub use deepsplit_netlist as netlist;
@@ -50,9 +52,14 @@ pub mod prelude {
     pub use deepsplit_core::attack;
     pub use deepsplit_core::config::AttackConfig;
     pub use deepsplit_core::dataset::PreparedDesign;
+    pub use deepsplit_core::fingerprint::CorpusFingerprint;
     pub use deepsplit_core::recover::{functional_recovery, reconstruct};
+    pub use deepsplit_core::store::{DiskModelStore, MemoryModelStore, ModelStore, StoreCounters};
     pub use deepsplit_core::train;
     pub use deepsplit_defense::{self as defense, DefendedDesign, DefenseConfig, DefenseKind};
+    pub use deepsplit_engine::{
+        self as engine, EngineConfig, MatrixReport, MatrixRun, ParetoFront,
+    };
     pub use deepsplit_flow::attack::{network_flow_attack, FlowAttackConfig, FlowOutcome};
     pub use deepsplit_flow::metrics::{ccr, fragment_accuracy, Assignment};
     pub use deepsplit_flow::proximity::proximity_attack;
