@@ -18,8 +18,9 @@
 //! cargo run --release --bin defense_matrix -- --shard 1/2 --artifacts runs/m
 //! cargo run --release --bin defense_matrix -- --merge --artifacts runs/m --json matrix.json
 //!
-//! # Interrupted? Re-run with --resume to keep completed cells:
-//! cargo run --release --bin defense_matrix -- --artifacts runs/m --resume
+//! # Interrupted? Re-run with --resume to keep completed cells (the model
+//! # store is required, so pending cells reload instead of re-training):
+//! cargo run --release --bin defense_matrix -- --artifacts runs/m --cache-dir .model-store --resume
 //! ```
 
 use deepsplit_core::store::{DiskModelStore, MemoryModelStore, ModelStore};
@@ -112,7 +113,7 @@ fn report_full(results: Vec<deepsplit_defense::eval::EvalOutcome>, json_path: Op
             .max_by(|a, b| a.0.total_cmp(&b.0));
         if let Some((factor, r)) = best {
             println!(
-                "best {:>9}: {:>5.1}× DL-CCR reduction on {} (M{}, strength {:.2}, {:+.1} % wirelength)",
+                "best {:>10}: {:>5.1}× DL-CCR reduction on {} (M{}, strength {:.2}, {:+.1} % wirelength)",
                 kind.name(),
                 factor,
                 r.benchmark,
@@ -164,9 +165,15 @@ fn main() {
         config.shard.1 == 1 || artifacts_dir.is_some(),
         "--shard requires --artifacts DIR: without published cells the shards can never be merged"
     );
+    let resume = args.iter().any(|a| a == "--resume");
     assert!(
-        !args.iter().any(|a| a == "--resume") || artifacts_dir.is_some(),
+        !resume || artifacts_dir.is_some(),
         "--resume requires --artifacts DIR (the directory holding the completed cells)"
+    );
+    assert!(
+        !resume || value_arg(&args, "--cache-dir").is_some(),
+        "--resume requires --cache-dir DIR: resumed artifacts skip evaluation, but without \
+         the model store every still-pending cell silently re-trains its models from scratch"
     );
 
     // Merge mode: reassemble shard artifacts, no evaluation. The protocol
@@ -188,7 +195,7 @@ fn main() {
     let engine_config = EngineConfig {
         sweep: config,
         artifacts_dir,
-        resume: args.iter().any(|a| a == "--resume"),
+        resume,
     };
     let config = &engine_config.sweep;
 

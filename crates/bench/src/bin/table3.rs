@@ -1,5 +1,6 @@
 //! Regenerates the paper's **Table 3**: per-design CCR and runtime of our DL
-//! attack versus the network-flow attack [1], splitting after M1 and M3.
+//! attack versus the network-flow attack (reference \[1\] of the paper),
+//! splitting after M1 and M3.
 //!
 //! Usage:
 //! ```text

@@ -13,8 +13,8 @@
 //! * [`model`] — the hybrid CNN + residual-MLP network (§4.2, Fig. 4,
 //!   Table 2) with softmax-regression and two-class heads.
 //! * [`dataset`] — query assembly and image sharing.
-//! * [`train`] — Adam + the paper's LR schedule, data-parallel on CPU.
-//! * [`attack`] — inference with image-embedding reuse; produces the
+//! * [`mod@train`] — Adam + the paper's LR schedule, data-parallel on CPU.
+//! * [`mod@attack`] — inference with image-embedding reuse; produces the
 //!   assignment evaluated by CCR (Eq. 1).
 //! * [`fingerprint`] — stable 128-bit content addresses for training corpora.
 //! * [`store`] — content-addressed [`TrainedAttack`] caches (memory / disk)

@@ -20,7 +20,8 @@
 //! vias and detour wirelength, booked by `DefenseStats`.
 
 use deepsplit_layout::design::Design;
-use deepsplit_layout::geom::{Dir, Layer, Point, Segment, Via};
+use deepsplit_layout::geom::{Dir, Layer, Point, Rect, Segment, Via};
+use deepsplit_layout::route::NetRoute;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -64,65 +65,87 @@ pub fn insert_decoys(design: &mut Design, split_layer: Layer, strength: f64, see
 
     let mut inserted = 0;
     for nid in picked {
-        let route = &mut design.routes[nid];
-
-        // Anchor candidates: FEOL segment endpoints (sorted + deduped).
-        let mut anchors: Vec<(Point, u8)> = route
-            .segments
-            .iter()
-            .filter(|s| s.layer.0 <= m && !s.is_empty())
-            .flat_map(|s| [(s.a, s.layer.0), (s.b, s.layer.0)])
-            .collect();
-        anchors.sort_unstable();
-        anchors.dedup();
-        let (anchor, anchor_layer) = anchors[rng.gen_range(0..anchors.len())];
-
-        // Short detour in the split layer's preferred direction, random sign,
-        // clamped to the die so image features stay in frame.
-        let steps = rng.gen_range(1..=DETOUR_MAX_STEPS);
-        let delta = steps * DETOUR_STEP_DBU * if rng.gen_bool(0.5) { 1 } else { -1 };
-        let mut tip = anchor;
-        match split_layer.dir() {
-            Dir::H => tip.x = (anchor.x + delta).clamp(die.lo.x, die.hi.x),
-            Dir::V => tip.y = (anchor.y + delta).clamp(die.lo.y, die.hi.y),
+        if grow_stub(&mut design.routes[nid], split_layer, die, &mut rng) {
+            inserted += 1;
         }
-
-        // A decoy pin colliding with a real cut via of the same net would be
-        // absorbed into the existing virtual pin; retreat to the anchor, and
-        // skip the net entirely if that collides too.
-        let existing: HashSet<Via> = route.vias.iter().copied().collect();
-        let cut_at = |p: Point| Via {
-            lower: split_layer,
-            at: p,
-        };
-        let tip = if existing.contains(&cut_at(tip)) {
-            anchor
-        } else {
-            tip
-        };
-        if existing.contains(&cut_at(tip)) {
-            continue;
-        }
-
-        // Stub stack from the anchor layer up to the split layer…
-        for l in anchor_layer..m {
-            let v = Via {
-                lower: Layer(l),
-                at: anchor,
-            };
-            if !existing.contains(&v) {
-                route.vias.push(v);
-            }
-        }
-        // …the detour in the split layer…
-        if tip != anchor {
-            route.segments.push(Segment::new(split_layer, anchor, tip));
-        }
-        // …and the dummy cut via the attacker mistakes for a virtual pin.
-        route.vias.push(cut_at(tip));
-        inserted += 1;
     }
     inserted
+}
+
+/// Grows one decoy stub on `route`: a via stack from a random FEOL wire
+/// endpoint up to `split_layer`, a short random detour in the split layer's
+/// preferred direction (clamped to `die`), and a terminating dummy cut via.
+/// Returns whether a stub was added — `false` when the route has no FEOL
+/// wire to anchor on or the stub would collide with the net's own cut vias.
+///
+/// Shared by the geometry-only decoy defense above and the netlist-level
+/// camouflage defense, whose dummy cells drive the same stub shape with a
+/// realistic load behind it.
+pub(crate) fn grow_stub(
+    route: &mut NetRoute,
+    split_layer: Layer,
+    die: Rect,
+    rng: &mut StdRng,
+) -> bool {
+    let m = split_layer.0;
+    // Anchor candidates: FEOL segment endpoints (sorted + deduped).
+    let mut anchors: Vec<(Point, u8)> = route
+        .segments
+        .iter()
+        .filter(|s| s.layer.0 <= m && !s.is_empty())
+        .flat_map(|s| [(s.a, s.layer.0), (s.b, s.layer.0)])
+        .collect();
+    anchors.sort_unstable();
+    anchors.dedup();
+    if anchors.is_empty() {
+        return false;
+    }
+    let (anchor, anchor_layer) = anchors[rng.gen_range(0..anchors.len())];
+
+    // Short detour in the split layer's preferred direction, random sign,
+    // clamped to the die so image features stay in frame.
+    let steps = rng.gen_range(1..=DETOUR_MAX_STEPS);
+    let delta = steps * DETOUR_STEP_DBU * if rng.gen_bool(0.5) { 1 } else { -1 };
+    let mut tip = anchor;
+    match split_layer.dir() {
+        Dir::H => tip.x = (anchor.x + delta).clamp(die.lo.x, die.hi.x),
+        Dir::V => tip.y = (anchor.y + delta).clamp(die.lo.y, die.hi.y),
+    }
+
+    // A decoy pin colliding with a real cut via of the same net would be
+    // absorbed into the existing virtual pin; retreat to the anchor, and
+    // skip the net entirely if that collides too.
+    let existing: HashSet<Via> = route.vias.iter().copied().collect();
+    let cut_at = |p: Point| Via {
+        lower: split_layer,
+        at: p,
+    };
+    let tip = if existing.contains(&cut_at(tip)) {
+        anchor
+    } else {
+        tip
+    };
+    if existing.contains(&cut_at(tip)) {
+        return false;
+    }
+
+    // Stub stack from the anchor layer up to the split layer…
+    for l in anchor_layer..m {
+        let v = Via {
+            lower: Layer(l),
+            at: anchor,
+        };
+        if !existing.contains(&v) {
+            route.vias.push(v);
+        }
+    }
+    // …the detour in the split layer…
+    if tip != anchor {
+        route.segments.push(Segment::new(split_layer, anchor, tip));
+    }
+    // …and the dummy cut via the attacker mistakes for a virtual pin.
+    route.vias.push(cut_at(tip));
+    true
 }
 
 #[cfg(test)]

@@ -365,6 +365,26 @@ mod tests {
             corpus_fingerprint(Benchmark::C432, Layer(3), &lift, &cfg),
             "defense must change the fingerprint"
         );
+        // Every defense kind — including the follow-on defenses — keys a
+        // distinct corpus, so no two kinds can ever share a cached model.
+        let mut kind_prints: Vec<CorpusFingerprint> = DefenseKind::all()
+            .into_iter()
+            .map(|kind| {
+                let defense = DefenseConfig {
+                    kind,
+                    strength: 1.0,
+                    seed: 11,
+                };
+                corpus_fingerprint(Benchmark::C432, Layer(3), &defense, &cfg)
+            })
+            .collect();
+        kind_prints.sort();
+        kind_prints.dedup();
+        assert_eq!(
+            kind_prints.len(),
+            DefenseKind::all().len(),
+            "every defense kind must produce a unique fingerprint"
+        );
         assert_ne!(
             base,
             corpus_fingerprint(Benchmark::C432, Layer(2), &DefenseConfig::none(), &cfg),

@@ -15,7 +15,10 @@
 //! | [`DefenseKind::Perturb`] | post-placement equal-width cell swaps, re-routed | placement proximity | wirelength |
 //! | [`DefenseKind::Lift`] | per-net trunk promotion above the split layer, zero escape | FEOL directional extension | BEOL track use |
 //! | [`DefenseKind::Decoy`] | dummy cut-via stubs and detours on split-layer wiring | candidate-list precision | wirelength + vias |
-//! | [`DefenseKind::Combined`] | all three | all of the above | all of the above |
+//! | [`DefenseKind::Obfuscate`] | randomized overshooting Z detours on crossing nets | FEOL-heading → BEOL-continuation prediction | wirelength |
+//! | [`DefenseKind::Equalize`] | density-driven equal-width swaps toward flat virtual-pin bins | image-feature density contrast | wirelength |
+//! | [`DefenseKind::Camouflage`] | dummy cell pairs driving decoy stubs with real loads | capacitance screening of decoys | cell area + wirelength + vias |
+//! | [`DefenseKind::Combined`] | perturb + lift + decoy | the first three rows | their sum |
 //!
 //! [`apply`] turns an implemented [`Design`] into a [`DefendedDesign`]; the
 //! [`eval`] module re-trains the attack on an *equally defended* corpus (the
@@ -27,9 +30,12 @@
 //! artifacts, Pareto reporting — lives in the `deepsplit-engine` crate,
 //! which drives the per-cell primitives exported here.
 
+pub mod camouflage;
 pub mod decoy;
+pub mod equalize;
 pub mod eval;
 pub mod lift;
+pub mod obfuscate;
 pub mod perturb;
 pub mod sweep;
 
@@ -49,18 +55,30 @@ pub enum DefenseKind {
     Lift,
     /// Dummy cut-via stubs and split-layer detours.
     Decoy,
+    /// Randomized overshooting detours on crossing nets (routing
+    /// obfuscation): FEOL headings stop predicting the BEOL continuation.
+    Obfuscate,
+    /// Virtual-pin density equalization: equal-width swaps out of dense bins
+    /// until the image-feature channel loses contrast.
+    Equalize,
+    /// Netlist-level camouflage: dummy cell pairs driving decoy stubs with
+    /// realistic load, so decoys survive capacitance screening.
+    Camouflage,
     /// Perturbation, then lifting, then decoys.
     Combined,
 }
 
 impl DefenseKind {
     /// All kinds, baseline first (the order the sweep matrix uses).
-    pub fn all() -> [DefenseKind; 5] {
+    pub fn all() -> [DefenseKind; 8] {
         [
             DefenseKind::None,
             DefenseKind::Perturb,
             DefenseKind::Lift,
             DefenseKind::Decoy,
+            DefenseKind::Obfuscate,
+            DefenseKind::Equalize,
+            DefenseKind::Camouflage,
             DefenseKind::Combined,
         ]
     }
@@ -72,6 +90,9 @@ impl DefenseKind {
             DefenseKind::Perturb => "perturb",
             DefenseKind::Lift => "lift",
             DefenseKind::Decoy => "decoy",
+            DefenseKind::Obfuscate => "obfuscate",
+            DefenseKind::Equalize => "equalize",
+            DefenseKind::Camouflage => "camouflage",
             DefenseKind::Combined => "combined",
         }
     }
@@ -120,8 +141,14 @@ pub struct DefenseStats {
     pub swapped_cells: usize,
     /// Nets lifted above the split layer.
     pub lifted_nets: usize,
-    /// Dummy cut vias inserted.
+    /// Dummy cut vias inserted (by the decoy defense or on camouflage nets).
     pub decoy_vias: usize,
+    /// Crossing nets re-routed with an overshooting detour.
+    pub detoured_nets: usize,
+    /// Cells displaced by virtual-pin density equalization.
+    pub equalized_cells: usize,
+    /// Dummy camouflage cells added to the netlist.
+    pub camo_cells: usize,
     /// Total routed wirelength before the defense, in dbu.
     pub base_wirelength: i64,
     /// Total routed wirelength after the defense, in dbu.
@@ -170,7 +197,9 @@ impl DefenseStats {
 /// A design after a defense pass.
 #[derive(Debug, Clone)]
 pub struct DefendedDesign {
-    /// The defended implementation (netlist unchanged, layout reshaped).
+    /// The defended implementation. Layout-level defenses reshape only the
+    /// layout; [`DefenseKind::Camouflage`] additionally extends the netlist
+    /// with functionally invisible dummy cells.
     pub design: Design,
     /// What was done and what it cost.
     pub stats: DefenseStats,
@@ -215,6 +244,9 @@ pub fn apply(
     let mut swapped_cells = 0;
     let mut lifted_nets = 0;
     let mut decoy_vias = 0;
+    let mut detoured_nets = 0;
+    let mut equalized_cells = 0;
+    let mut camo_cells = 0;
 
     match config.kind {
         DefenseKind::None | DefenseKind::Decoy => {}
@@ -224,6 +256,35 @@ pub fn apply(
         }
         DefenseKind::Lift => {
             lifted_nets = lift::lift_nets(&mut defended, implement, split_layer, config.strength);
+        }
+        DefenseKind::Obfuscate => {
+            detoured_nets = obfuscate::obfuscate_routes(
+                &mut defended,
+                implement,
+                split_layer,
+                config.strength,
+                config.seed,
+            );
+        }
+        DefenseKind::Equalize => {
+            equalized_cells = equalize::equalize_pin_density(
+                &mut defended,
+                implement,
+                split_layer,
+                config.strength,
+                config.seed,
+            );
+        }
+        DefenseKind::Camouflage => {
+            let outcome = camouflage::insert_camouflage(
+                &mut defended,
+                implement,
+                split_layer,
+                config.strength,
+                config.seed,
+            );
+            camo_cells = outcome.cells;
+            decoy_vias = outcome.decoy_vias;
         }
         DefenseKind::Combined => {
             // Two route passes on purpose: the lifting budget ranks crossing
@@ -252,6 +313,9 @@ pub fn apply(
         swapped_cells,
         lifted_nets,
         decoy_vias,
+        detoured_nets,
+        equalized_cells,
+        camo_cells,
         base_wirelength,
         defended_wirelength: defended.total_wirelength(),
         base_vias,
@@ -262,6 +326,44 @@ pub fn apply(
     DefendedDesign {
         design: defended,
         stats,
+    }
+}
+
+/// Test-only helpers shared across the defense modules.
+#[cfg(test)]
+pub(crate) mod test_util {
+    use deepsplit_layout::design::Design;
+    use std::collections::HashMap;
+
+    /// Asserts the same legality invariants as the placer's own tests: every
+    /// core cell inside the core, no same-row overlap. One definition, used
+    /// by every defense that edits the placement.
+    pub(crate) fn assert_placement_legal(design: &Design) {
+        let fp = &design.floorplan;
+        let mut by_row: HashMap<usize, Vec<(i64, i64)>> = HashMap::new();
+        for (id, inst) in design.netlist.instances() {
+            let spec = design.library.cell(inst.cell);
+            if spec.function.is_pad() {
+                continue;
+            }
+            let o = design.placement.origins[id.0 as usize];
+            let w = spec.width_sites as i64 * fp.site_width;
+            assert!(
+                o.x >= fp.core.lo.x && o.x + w <= fp.core.hi.x,
+                "cell {} outside the core",
+                inst.name
+            );
+            by_row
+                .entry(design.placement.rows[id.0 as usize])
+                .or_default()
+                .push((o.x, o.x + w));
+        }
+        for (_, mut spans) in by_row {
+            spans.sort();
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap {:?} vs {:?}", w[0], w[1]);
+            }
+        }
     }
 }
 
@@ -315,12 +417,7 @@ mod tests {
     #[test]
     fn defenses_are_deterministic() {
         let (design, implement) = base();
-        for kind in [
-            DefenseKind::Perturb,
-            DefenseKind::Lift,
-            DefenseKind::Decoy,
-            DefenseKind::Combined,
-        ] {
+        for kind in DefenseKind::all().into_iter().skip(1) {
             let config = DefenseConfig {
                 kind,
                 strength: 0.6,

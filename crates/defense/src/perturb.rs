@@ -89,7 +89,6 @@ mod tests {
     use deepsplit_layout::split::{audit, split_design};
     use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
     use deepsplit_netlist::library::CellLibrary;
-    use std::collections::HashMap;
 
     fn base() -> (Design, ImplementConfig) {
         let lib = CellLibrary::nangate45();
@@ -112,29 +111,7 @@ mod tests {
         let (mut design, implement) = base();
         let moved = perturb_placement(&mut design, &implement, 1.0, 7);
         assert!(moved > 0);
-        // Same legality check as the placer's own tests: no same-row overlap,
-        // everything inside the core.
-        let fp = &design.floorplan;
-        let mut by_row: HashMap<usize, Vec<(i64, i64)>> = HashMap::new();
-        for (id, inst) in design.netlist.instances() {
-            let spec = design.library.cell(inst.cell);
-            if spec.function.is_pad() {
-                continue;
-            }
-            let o = design.placement.origins[id.0 as usize];
-            let w = spec.width_sites as i64 * fp.site_width;
-            assert!(o.x >= fp.core.lo.x && o.x + w <= fp.core.hi.x);
-            by_row
-                .entry(design.placement.rows[id.0 as usize])
-                .or_default()
-                .push((o.x, o.x + w));
-        }
-        for (_, mut spans) in by_row {
-            spans.sort();
-            for w in spans.windows(2) {
-                assert!(w[0].1 <= w[1].0, "overlap {:?} vs {:?}", w[0], w[1]);
-            }
-        }
+        crate::test_util::assert_placement_legal(&design);
     }
 
     #[test]

@@ -149,7 +149,7 @@ pub fn protection_factor(results: &[EvalOutcome], result: &EvalOutcome) -> f64 {
 pub fn render_matrix(results: &[EvalOutcome]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>8} {:>6} {:>9} {:>5} {:>5} {:>5} {:>8} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
+        "{:>8} {:>6} {:>10} {:>5} {:>5} {:>5} {:>8} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
         "bench",
         "split",
         "defense",
@@ -177,7 +177,7 @@ pub fn render_matrix(results: &[EvalOutcome]) -> String {
             .map(|f| format!("{:.2}", 100.0 * f))
             .unwrap_or_else(|| "n/a".to_string());
         out.push_str(&format!(
-            "{:>8} {:>6} {:>9} {:>5.2} {:>5} {:>5} {:>8.2} {:>6} {:>8} {:>8.2} {:>8.2} {:>7.2} {:>7.2}\n",
+            "{:>8} {:>6} {:>10} {:>5.2} {:>5} {:>5} {:>8.2} {:>6} {:>8} {:>8.2} {:>8.2} {:>7.2} {:>7.2}\n",
             r.benchmark,
             format!("M{}", r.split_layer),
             r.defense.kind.name(),
@@ -211,8 +211,8 @@ mod tests {
             .filter(|(_, _, d)| d.kind == DefenseKind::None)
             .count();
         assert_eq!(baselines, 4);
-        // 4 pairs × (1 baseline + 4 defenses × 2 strengths)
-        assert_eq!(cells.len(), 4 * (1 + 4 * 2));
+        // 4 pairs × (1 baseline + 7 defenses × 2 strengths)
+        assert_eq!(cells.len(), 4 * (1 + 7 * 2));
     }
 
     #[test]
@@ -317,6 +317,9 @@ mod tests {
                 swapped_cells: 0,
                 lifted_nets: 10,
                 decoy_vias: 0,
+                detoured_nets: 0,
+                equalized_cells: 0,
+                camo_cells: 0,
                 base_wirelength: 1000,
                 defended_wirelength: 990,
                 base_vias: 100,

@@ -130,5 +130,77 @@ fn strongest_combined_defense_nears_chance_and_costs_wirelength() {
     assert!(combined.scores.recovery <= baseline.scores.recovery + 1e-9);
 }
 
+#[test]
+fn each_follow_on_defense_blunts_the_adaptive_attack() {
+    // The acceptance bar for the follow-on defenses: at full strength, with
+    // the attacker re-trained on an equally defended corpus, every one of
+    // them reduces DL CCR versus the undefended baseline of its cell — each
+    // on the cell where its leakage channel actually binds: detours and
+    // camouflage on the sparse M3 matching problem; density equalization on
+    // the dense M1 one at the standard generator scale (scaled-down M1
+    // layouts spread their crossings so evenly that the smoothing pass
+    // correctly declares there is no contrast left to remove).
+    let tiny = tiny_eval();
+    let dense = EvalConfig {
+        scale: 0.5,
+        ..tiny_eval()
+    };
+    let mut baselines = std::collections::HashMap::new();
+    for (kind, layer, cfg) in [
+        (DefenseKind::Obfuscate, Layer(3), &tiny),
+        (DefenseKind::Equalize, Layer(1), &dense),
+        (DefenseKind::Camouflage, Layer(3), &tiny),
+    ] {
+        let baseline = baselines
+            .entry(layer.0)
+            .or_insert_with(|| evaluate(Benchmark::C432, layer, &DefenseConfig::none(), cfg))
+            .clone();
+        let defended = evaluate(
+            Benchmark::C432,
+            layer,
+            &DefenseConfig {
+                kind,
+                strength: 1.0,
+                seed: 11,
+            },
+            cfg,
+        );
+        assert!(
+            defended.scores.dl_ccr < baseline.scores.dl_ccr,
+            "{kind:?} must reduce adaptive DL CCR: {:.4} -> {:.4}",
+            baseline.scores.dl_ccr,
+            defended.scores.dl_ccr
+        );
+        // Each defense books its own ledger entry and a nonzero PPA price.
+        match kind {
+            DefenseKind::Obfuscate => {
+                assert!(defended.defense.detoured_nets > 0);
+                assert!(defended.defense.wirelength_overhead_pct() > 0.0);
+            }
+            DefenseKind::Equalize => {
+                assert!(defended.defense.equalized_cells > 0);
+                assert!(defended.defense.wirelength_overhead_pct() > 0.0);
+            }
+            DefenseKind::Camouflage => {
+                assert!(defended.defense.camo_cells > 0);
+                assert!(defended.defense.decoy_vias > 0);
+                assert!(
+                    defended.defense.cost_overhead_pct() > 0.0,
+                    "camouflage pairs must cost wire and vias"
+                );
+                // The point of camouflage: the fake sources survive into the
+                // matching problem, visibly diluting the candidate pool.
+                assert!(
+                    defended.scores.source_fragments > baseline.scores.source_fragments,
+                    "camouflage must enlarge the source pool ({} -> {})",
+                    baseline.scores.source_fragments,
+                    defended.scores.source_fragments
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
 // Sweep-level invariants (determinism, caching, sharding, resume) live in
 // `crates/engine/tests/engine_suite.rs` — the engine crate owns execution.

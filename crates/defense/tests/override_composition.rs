@@ -1,0 +1,107 @@
+//! Two defenses that each install per-net router overrides must stack: wire
+//! lifting supplies the above-split trunk layers while routing obfuscation
+//! forces the detour shape on the same nets, composed through
+//! `route::compose_overrides` without either defense knowing about the
+//! other. The merged closure must apply *both* layers and the routed result
+//! must stay structurally legal.
+
+use deepsplit_defense::lift::{crossing_nets, lift_router_config};
+use deepsplit_defense::obfuscate::plan_obfuscation;
+use deepsplit_layout::design::{Design, ImplementConfig};
+use deepsplit_layout::geom::Layer;
+use deepsplit_layout::route::{self, compose_overrides};
+use deepsplit_layout::split::{audit, split_design};
+use deepsplit_netlist::benchmarks::{generate_with, Benchmark};
+use deepsplit_netlist::library::CellLibrary;
+use deepsplit_netlist::netlist::NetId;
+use std::collections::HashSet;
+
+fn base() -> (Design, ImplementConfig) {
+    let lib = CellLibrary::nangate45();
+    let implement = ImplementConfig::default();
+    let nl = generate_with(Benchmark::C880, 0.5, 61, &lib);
+    (Design::implement(nl, lib, &implement), implement)
+}
+
+#[test]
+fn lift_and_obfuscation_overrides_compose() {
+    let (design, implement) = base();
+    let split = Layer(3);
+
+    // Lift layer: the top half of the crossing nets (deterministic).
+    let crossing = crossing_nets(&design.routes, split);
+    assert!(crossing.len() >= 4, "need a few crossing nets to compose");
+    let lifted: HashSet<NetId> = crossing[..crossing.len() / 2].iter().copied().collect();
+    let lift_config = lift_router_config(&implement.router, split);
+
+    // Obfuscation layer: detours for every crossing net, so overlap with the
+    // lifted set is guaranteed.
+    let plan = plan_obfuscation(&design, split, 1.0, 7);
+    let both: Vec<NetId> = lifted
+        .iter()
+        .copied()
+        .filter(|&nid| plan.shape(nid).is_some())
+        .collect();
+    assert!(!both.is_empty(), "some net must receive both overrides");
+
+    let route_with_overrides = |with_detours: bool| {
+        let inner = |nid: NetId| lifted.contains(&nid).then(|| lift_config.clone());
+        let outer = |nid: NetId, cfg: &route::RouterConfig| {
+            if with_detours {
+                plan.apply_to(nid, cfg)
+            } else {
+                None
+            }
+        };
+        let merged = compose_overrides(&implement.router, inner, outer);
+        route::route_with(
+            &design.netlist,
+            &design.library,
+            &design.floorplan,
+            &design.placement,
+            &implement.router,
+            merged,
+        )
+    };
+    let (lift_only_routes, _) = route_with_overrides(false);
+    let (routes, stats) = route_with_overrides(true);
+
+    // Layer 1 applied: every lifted net keeps its trunks above the split —
+    // nothing but M1/M2 pin jogs below it (the zero-escape lift contract).
+    for &nid in &lifted {
+        for s in &routes[nid.0 as usize].segments {
+            assert!(
+                s.layer.0 <= 2 || s.layer.0 > split.0,
+                "lifted net {} leaves trunk wire on M{} under composition",
+                design.netlist.net(nid).name,
+                s.layer.0
+            );
+        }
+    }
+
+    // Layer 2 applied: the detours actually changed the lifted nets' routes
+    // (a pass-through composition would reproduce the lift-only geometry).
+    assert!(
+        both.iter()
+            .any(|&nid| routes[nid.0 as usize] != lift_only_routes[nid.0 as usize]),
+        "obfuscation layer had no effect on doubly-overridden nets"
+    );
+
+    // The composed output is a legal routing: preferred directions hold and
+    // the split extraction audits clean.
+    for r in &routes {
+        for s in r.segments.iter().filter(|s| !s.is_empty()) {
+            assert_eq!(s.dir(), s.layer.dir(), "segment off preferred direction");
+        }
+    }
+    let mut composed = design.clone();
+    composed.routes = routes;
+    let geometry = route::recompute_stats(&composed.routes, implement.router.num_layers);
+    composed.route_stats.wirelength_per_layer = geometry.wirelength_per_layer;
+    composed.route_stats.vias_per_cut = geometry.vias_per_cut;
+    let _ = stats;
+    let view = split_design(&composed, split);
+    let problems = audit(&view, &composed);
+    assert!(problems.is_empty(), "{problems:?}");
+    assert!(view.num_sink_fragments() > 0);
+}

@@ -155,6 +155,9 @@ mod tests {
                 swapped_cells: 0,
                 lifted_nets: 0,
                 decoy_vias: 0,
+                detoured_nets: 0,
+                equalized_cells: 0,
+                camo_cells: 0,
                 base_wirelength: 100,
                 defended_wirelength: 110,
                 base_vias: 10,

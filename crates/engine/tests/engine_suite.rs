@@ -154,7 +154,10 @@ fn sharded_runs_merge_to_the_unsharded_matrix() {
 
 #[test]
 fn resume_skips_completed_cells() {
-    let config = tiny_sweep(vec![DefenseKind::Decoy], vec![1.0]);
+    // Camouflage is the one defense that edits the netlist itself, so using
+    // it here also proves a follow-on defense round-trips the engine's
+    // artifact + resume path unchanged.
+    let config = tiny_sweep(vec![DefenseKind::Camouflage], vec![1.0]);
     let dir = tempdir("resume");
     let store = MemoryModelStore::new();
     let engine_config = EngineConfig {

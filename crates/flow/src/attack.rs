@@ -1,5 +1,5 @@
 //! The network-flow attack of Wang et al. (TVLSI'18) — the paper's
-//! state-of-the-art baseline ([1] in Table 3).
+//! state-of-the-art baseline (\[1\] in Table 3).
 //!
 //! Model reconstruction: a bipartite min-cost flow where **proximity is the
 //! cost and capacitance is the capacity**:

@@ -1,7 +1,7 @@
 //! Baseline attacks on split manufacturing.
 //!
 //! The DAC'19 paper compares its deep-learning attack against the network-flow
-//! attack of Wang et al. (TVLSI'18, reference [1] of the paper) and discusses
+//! attack of Wang et al. (TVLSI'18, reference \[1\] of the paper) and discusses
 //! the naïve proximity attack of Rajendran et al. (DATE'13). Both baselines
 //! are reimplemented here, along with the min-cost max-flow engine and the
 //! correct-connection-rate metric used by every attack:

@@ -15,7 +15,7 @@
 //!   congested regions leak into the image features just as in real layouts.
 
 use crate::floorplan::Floorplan;
-use crate::geom::{Dir, Layer, Point, Segment, Via, DBU_PER_UM};
+use crate::geom::{Dir, Layer, Point, Rect, Segment, Via, DBU_PER_UM};
 use crate::place::{pin_position, Placement};
 use deepsplit_netlist::library::CellLibrary;
 use deepsplit_netlist::netlist::{NetId, Netlist};
@@ -44,6 +44,18 @@ pub struct RouterConfig {
     pub escape_frac: f64,
     /// Minimum move length (µm) for ladder splitting.
     pub ladder_min_um: f64,
+    /// Fraction along the connection span where Z patterns place their mid
+    /// trunk (`0.5` = halfway, the classic Z). Values outside `[0, 1]`
+    /// overshoot an endpoint, producing **detour** shapes whose trunks head
+    /// *away* from the destination before folding back — the knob the
+    /// routing-obfuscation defense randomises per net so FEOL headings stop
+    /// predicting the BEOL continuation. Midpoints are clamped to the die.
+    pub z_mid_frac: f64,
+    /// When set, only this pattern candidate is considered (`0` = H-first L,
+    /// `1` = V-first L, `2` = horizontal Z, `3` = vertical Z); `None` picks
+    /// the cheapest of all four as usual. Forcing a Z pattern guarantees
+    /// `z_mid_frac` detours actually appear instead of being out-costed.
+    pub forced_pattern: Option<u8>,
 }
 
 impl Default for RouterConfig {
@@ -62,6 +74,8 @@ impl Default for RouterConfig {
             num_layers: 6,
             escape_frac: 0.45,
             ladder_min_um: 1.5,
+            z_mid_frac: 0.5,
+            forced_pattern: None,
         }
     }
 }
@@ -203,6 +217,10 @@ pub fn route_with(
             net_config.num_layers <= config.num_layers,
             "per-net override must not add layers"
         );
+        assert!(
+            net_config.forced_pattern.is_none_or(|p| p < 4),
+            "forced_pattern must index one of the four candidates"
+        );
         let edges = mst_edges(&pts);
         let mut route_acc = NetRoute::default();
         for (i, j) in edges {
@@ -210,6 +228,7 @@ pub fn route_with(
                 pts[i],
                 pts[j],
                 net_config,
+                fp.die,
                 &mut occ,
                 &mut route_acc,
                 &mut stats,
@@ -222,6 +241,26 @@ pub fn route_with(
     stats.wirelength_per_layer = geometry.wirelength_per_layer;
     stats.vias_per_cut = geometry.vias_per_cut;
     (routes, stats)
+}
+
+/// Stacks two per-net override layers for [`route_with`]: `outer` sees the
+/// configuration `inner` produced for a net (or `base` when `inner` passed)
+/// and may refine it further; when `outer` passes, `inner`'s choice stands.
+///
+/// This is how defenses that each install per-net overrides compose — e.g.
+/// wire lifting supplies the above-split trunk layers while routing
+/// obfuscation forces a detour shape on the *same* net, without either
+/// defense knowing about the other.
+pub fn compose_overrides<'a>(
+    base: &'a RouterConfig,
+    inner: impl Fn(NetId) -> Option<RouterConfig> + 'a,
+    outer: impl Fn(NetId, &RouterConfig) -> Option<RouterConfig> + 'a,
+) -> impl Fn(NetId) -> Option<RouterConfig> + 'a {
+    move |nid| {
+        let lower = inner(nid);
+        let effective = lower.as_ref().unwrap_or(base);
+        outer(nid, effective).or(lower)
+    }
 }
 
 /// Rebuilds the geometry statistics of a set of routes (used after a defense
@@ -324,6 +363,7 @@ fn route_two_pin(
     a: Point,
     b: Point,
     config: &RouterConfig,
+    die: Rect,
     occ: &mut Occupancy,
     out: &mut NetRoute,
     stats: &mut RouteStats,
@@ -333,7 +373,7 @@ fn route_two_pin(
     let mut chosen: Option<(Vec<Move>, Vec<Trunk>)> = None;
     for promote in 0..2 {
         let (h, v) = trunk_pair(config, len, promote);
-        let (path, trunks, cost) = best_pattern(a, b, h, v, config, occ);
+        let (path, trunks, cost) = best_pattern(a, b, h, v, config, die, occ);
         let overlap_frac = if len == 0 {
             0.0
         } else {
@@ -362,13 +402,14 @@ fn best_pattern(
     h: Layer,
     v: Layer,
     config: &RouterConfig,
+    die: Rect,
     occ: &Occupancy,
 ) -> Pattern {
     // Candidate trunk coordinates (before track search):
     // H-first L: horizontal trunk at a.y, vertical trunk at b.x
     // V-first L: vertical trunk at a.x, horizontal trunk at b.y
-    // H Z: horizontal trunks at a.y/b.y with vertical mid at (a.x+b.x)/2
-    // V Z: vertical trunks at a.x/b.x with horizontal mid at (a.y+b.y)/2
+    // H Z: horizontal trunks at a.y/b.y with vertical mid at z_mid_frac
+    // V Z: vertical trunks at a.x/b.x with horizontal mid at z_mid_frac
     let mut best: Option<Pattern> = None;
     let candidates = [
         PatternKind::HFirst,
@@ -376,8 +417,13 @@ fn best_pattern(
         PatternKind::ZHorizontal,
         PatternKind::ZVertical,
     ];
-    for kind in candidates {
-        let cand = build_pattern(a, b, h, v, kind, config, occ);
+    for (index, kind) in candidates.into_iter().enumerate() {
+        if let Some(forced) = config.forced_pattern {
+            if forced as usize != index {
+                continue;
+            }
+        }
+        let cand = build_pattern(a, b, (h, v), kind, config, die, occ);
         let better = match &best {
             None => true,
             Some((_, _, c)) => cand.2 < *c,
@@ -397,15 +443,28 @@ enum PatternKind {
     ZVertical,
 }
 
-/// Builds one candidate pattern: a move path from `a` to `b` plus trunk
-/// occupancy records and the total overlap cost.
+/// Midpoint of a Z trunk at `frac` along `a → b`, clamped to `(lo, hi)`.
+/// `0.5` reproduces the legacy integer midpoint exactly; other values (and
+/// overshoots outside `[0, 1]`) interpolate.
+fn z_mid(a: i64, b: i64, frac: f64, lo: i64, hi: i64) -> i64 {
+    let mid = if frac == 0.5 {
+        (a + b) / 2
+    } else {
+        a + ((b - a) as f64 * frac).round() as i64
+    };
+    mid.clamp(lo, hi)
+}
+
+/// Builds one candidate pattern: a move path from `a` to `b` on the
+/// `(h, v)` trunk-layer pair, plus trunk occupancy records and the total
+/// overlap cost.
 fn build_pattern(
     a: Point,
     b: Point,
-    h: Layer,
-    v: Layer,
+    (h, v): (Layer, Layer),
     kind: PatternKind,
     config: &RouterConfig,
+    die: Rect,
     occ: &Occupancy,
 ) -> Pattern {
     let mut trunks: Vec<Trunk> = Vec::new();
@@ -449,7 +508,7 @@ fn build_pattern(
             push_move(&mut moves, &mut cur, b, v_base);
         }
         PatternKind::ZHorizontal => {
-            let xm = (a.x + b.x) / 2;
+            let xm = z_mid(a.x, b.x, config.z_mid_frac, die.lo.x, die.hi.x);
             let ty0 = h_trunk(a.y, a.x, xm, &mut cost, &mut trunks);
             let tx = v_trunk(xm, ty0, b.y, &mut cost, &mut trunks);
             let ty1 = h_trunk(b.y, tx, b.x, &mut cost, &mut trunks);
@@ -460,7 +519,7 @@ fn build_pattern(
             push_move(&mut moves, &mut cur, b, v_base);
         }
         PatternKind::ZVertical => {
-            let ym = (a.y + b.y) / 2;
+            let ym = z_mid(a.y, b.y, config.z_mid_frac, die.lo.y, die.hi.y);
             let tx0 = v_trunk(a.x, a.y, ym, &mut cost, &mut trunks);
             let ty = h_trunk(ym, tx0, b.x, &mut cost, &mut trunks);
             let tx1 = v_trunk(b.x, ty, b.y, &mut cost, &mut trunks);
@@ -779,6 +838,93 @@ mod tests {
         assert_eq!((h.0, v.0), (5, 6));
         let (h, v) = trunk_pair(&config, crate::geom::um(1.0), 1);
         assert_eq!((h.0, v.0), (3, 2), "promotion moves one pair up");
+    }
+
+    #[test]
+    fn forced_z_pattern_with_overshoot_detours_but_stays_connected() {
+        let (lib, nl, fp, pl, base_routes, _) = routed(Benchmark::C432, 0.4);
+        let detour_config = RouterConfig {
+            forced_pattern: Some(2),
+            z_mid_frac: 1.4,
+            ..RouterConfig::default()
+        };
+        let (routes, _) = route_with(&nl, &lib, &fp, &pl, &RouterConfig::default(), |_| {
+            Some(detour_config.clone())
+        });
+        let base_wl: i64 = base_routes.iter().map(|r| r.wirelength()).sum();
+        let detour_wl: i64 = routes.iter().map(|r| r.wirelength()).sum();
+        assert!(
+            detour_wl > base_wl,
+            "overshooting Z mids must lengthen routes ({base_wl} -> {detour_wl})"
+        );
+        for (nid, _) in nl.nets() {
+            let pins = net_pins(&nl, &lib, &fp, &pl, nid);
+            if pins.len() < 2 {
+                continue;
+            }
+            let r = &routes[nid.0 as usize];
+            assert!(
+                net_is_connected(&pins, r),
+                "net {} disconnected under detour routing",
+                nl.net(nid).name
+            );
+            // Overshoots are clamped to the die; only the track search may
+            // shift a trunk a bounded number of pitches past it.
+            let slack = (detour_config.max_track_shift + 1) * detour_config.track_pitch;
+            for s in &r.segments {
+                for p in [s.a, s.b] {
+                    assert!(
+                        p.x >= fp.die.lo.x - slack
+                            && p.x <= fp.die.hi.x + slack
+                            && p.y >= fp.die.lo.y - slack
+                            && p.y <= fp.die.hi.y + slack,
+                        "segment endpoint {p} beyond the die + track-shift slack"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_z_mid_reproduces_legacy_midpoint() {
+        // The fast path must be bit-identical to the pre-knob integer
+        // midpoint, including the truncation direction for descending spans.
+        for (a, b) in [(1i64, 4i64), (4, 1), (0, 7), (7, 0)] {
+            assert_eq!(z_mid(a, b, 0.5, i64::MIN, i64::MAX), (a + b) / 2);
+        }
+        assert_eq!(z_mid(0, 10, 1.5, 0, 12), 12, "overshoot clamps to bounds");
+        assert_eq!(z_mid(0, 10, -0.5, -3, 12), -3);
+    }
+
+    #[test]
+    fn composed_overrides_apply_both_layers() {
+        let base = RouterConfig::default();
+        let lift_like = RouterConfig {
+            escape_frac: 0.0,
+            ..RouterConfig::default()
+        };
+        let inner = |nid: NetId| nid.0.is_multiple_of(2).then(|| lift_like.clone());
+        let outer = |nid: NetId, cfg: &RouterConfig| {
+            (nid.0 < 2).then(|| RouterConfig {
+                forced_pattern: Some(3),
+                ..cfg.clone()
+            })
+        };
+        let merged = compose_overrides(&base, inner, outer);
+        // Net 0: both layers — lift's escape_frac AND the forced pattern.
+        let both = merged(NetId(0)).unwrap();
+        assert_eq!(both.escape_frac, 0.0);
+        assert_eq!(both.forced_pattern, Some(3));
+        // Net 1: outer only, layered on the base config.
+        let outer_only = merged(NetId(1)).unwrap();
+        assert_eq!(outer_only.escape_frac, base.escape_frac);
+        assert_eq!(outer_only.forced_pattern, Some(3));
+        // Net 2: inner only survives when outer passes.
+        let inner_only = merged(NetId(2)).unwrap();
+        assert_eq!(inner_only.escape_frac, 0.0);
+        assert_eq!(inner_only.forced_pattern, None);
+        // Net 3: neither layer → no override.
+        assert_eq!(merged(NetId(3)), None);
     }
 
     #[test]

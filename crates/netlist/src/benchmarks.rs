@@ -190,7 +190,7 @@ pub fn generate(bench: Benchmark, scale: f64, seed: u64) -> Netlist {
     generate_with(bench, scale, seed, &lib)
 }
 
-/// Like [`generate`] but against a caller-provided library.
+/// Like [`generate()`] but against a caller-provided library.
 pub fn generate_with(bench: Benchmark, scale: f64, seed: u64, lib: &CellLibrary) -> Netlist {
     let mut config = bench.config();
     let s = scale.clamp(0.01, 10.0);

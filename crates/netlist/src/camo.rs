@@ -1,0 +1,138 @@
+//! Camouflage dummy-cell construction: self-contained cell pairs whose only
+//! purpose is to *drive* decoy wiring with electrically realistic loads.
+//!
+//! The geometry-only decoys of the defense suite are stripped by the
+//! network-flow attack's capacitance screening: a dummy cut via with no
+//! driver behind it gets no flow capacity, so the min-cost matching simply
+//! routes around it. A camouflage pair closes that hole at the netlist level:
+//!
+//! * an **inverter** provides a real driver — the attacker's library lookup
+//!   finds a genuine `max_load_ff` budget behind the decoy's virtual pin;
+//! * a **flip-flop** terminates the decoy net with a real pin load, so the
+//!   fragment's own capacitance is plausible rather than zero;
+//! * the flip-flop's output feeds the inverter back, keeping the pair a
+//!   valid, closed sub-circuit (a toggle register) that never touches the
+//!   design's primary outputs — functional behaviour is untouched.
+//!
+//! The pair is purely combinational-loop-free (the register breaks the
+//! cycle), validates under [`crate::netlist::Netlist::validate_with`], and is
+//! invisible to [`crate::sim::functional_agreement`], which compares primary
+//! outputs only. Placement, routing and the decoy stub that makes the pair's
+//! net look split are the defense crate's job — this module owns only the
+//! netlist surgery.
+
+use crate::library::{CellLibrary, PinDir};
+use crate::netlist::{InstId, NetId, Netlist};
+
+/// The netlist handles of one camouflage pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CamoPair {
+    /// The inverter driving the decoy net (the realistic decoy driver).
+    pub driver: InstId,
+    /// The flip-flop loading the decoy net and feeding the inverter back.
+    pub load: InstId,
+    /// Inverter output → flip-flop D: the net the defense grows a decoy stub
+    /// on, so its fragment becomes a fake source with a real driver.
+    pub decoy_net: NetId,
+    /// Flip-flop Q → inverter input: closes the pair into a toggle register.
+    pub feedback_net: NetId,
+}
+
+/// Index of the first input pin of `cell`.
+fn input_pin(lib: &CellLibrary, cell: crate::library::CellKindId) -> u8 {
+    lib.cell(cell)
+        .pins
+        .iter()
+        .position(|p| p.dir == PinDir::Input)
+        .expect("camouflage cells have an input pin") as u8
+}
+
+/// Adds one camouflage pair (`INV_X1` + `DFF_X1`) to `nl`, named with `tag`
+/// so repeated insertions stay collision-free. Returns the new handles; the
+/// caller owns placement and routing.
+///
+/// # Panics
+///
+/// Panics if the library lacks `INV_X1`/`DFF_X1` or if `tag` collides with an
+/// existing `camo_*` name (validation will reject the duplicate later).
+pub fn add_camo_pair(nl: &mut Netlist, lib: &CellLibrary, tag: usize) -> CamoPair {
+    let inv = lib.find_id("INV_X1").expect("INV_X1 in library");
+    let dff = lib.find_id("DFF_X1").expect("DFF_X1 in library");
+    let driver = nl.add_instance(format!("camo_drv_{tag}"), inv, lib);
+    let load = nl.add_instance(format!("camo_ff_{tag}"), dff, lib);
+    let decoy_net = nl.add_net(format!("camo_net_{tag}"));
+    let feedback_net = nl.add_net(format!("camo_fb_{tag}"));
+
+    let inv_out = lib.cell(inv).output_pin().expect("INV output") as u8;
+    let dff_out = lib.cell(dff).output_pin().expect("DFF output") as u8;
+    nl.connect_driver(decoy_net, driver, inv_out);
+    nl.connect_sink(decoy_net, load, input_pin(lib, dff));
+    nl.connect_driver(feedback_net, load, dff_out);
+    nl.connect_sink(feedback_net, driver, input_pin(lib, inv));
+
+    CamoPair {
+        driver,
+        load,
+        decoy_net,
+        feedback_net,
+    }
+}
+
+/// Total cell width of one camouflage pair in placement sites.
+pub fn camo_pair_width_sites(lib: &CellLibrary) -> usize {
+    let inv = lib.find_id("INV_X1").expect("INV_X1 in library");
+    let dff = lib.find_id("DFF_X1").expect("DFF_X1 in library");
+    (lib.cell(inv).width_sites + lib.cell(dff).width_sites) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{generate_with, Benchmark};
+    use crate::sim::functional_agreement;
+
+    #[test]
+    fn camo_pair_keeps_the_netlist_valid() {
+        let lib = CellLibrary::nangate45();
+        let mut nl = generate_with(Benchmark::C432, 0.4, 3, &lib);
+        let before_insts = nl.num_instances();
+        for tag in 0..5 {
+            let pair = add_camo_pair(&mut nl, &lib, tag);
+            assert_ne!(pair.driver, pair.load);
+        }
+        assert_eq!(nl.num_instances(), before_insts + 10);
+        assert!(nl.validate_with(&lib).is_ok());
+    }
+
+    #[test]
+    fn camo_pairs_never_change_primary_outputs() {
+        let lib = CellLibrary::nangate45();
+        let original = generate_with(Benchmark::C880, 0.4, 5, &lib);
+        let mut camo = original.clone();
+        for tag in 0..4 {
+            add_camo_pair(&mut camo, &lib, tag);
+        }
+        let agreement = functional_agreement(&original, &camo, &lib, 16, 9);
+        assert!(
+            (agreement - 1.0).abs() < 1e-12,
+            "camouflage must be functionally invisible, agreement {agreement}"
+        );
+    }
+
+    #[test]
+    fn camo_pair_is_register_bounded_not_a_combinational_loop() {
+        let lib = CellLibrary::nangate45();
+        let mut nl = generate_with(Benchmark::C432, 0.3, 7, &lib);
+        add_camo_pair(&mut nl, &lib, 0);
+        // A combinational loop would drop instances from the topo order.
+        assert_eq!(nl.topo_order(&lib).len(), nl.num_instances());
+    }
+
+    #[test]
+    fn pair_width_matches_library() {
+        let lib = CellLibrary::nangate45();
+        let inv = lib.cell(lib.find_id("INV_X1").unwrap()).width_sites as usize;
+        let dff = lib.cell(lib.find_id("DFF_X1").unwrap()).width_sites as usize;
+        assert_eq!(camo_pair_width_sites(&lib), inv + dff);
+    }
+}

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod benchmarks;
+pub mod camo;
 pub mod generate;
 pub mod library;
 pub mod netlist;

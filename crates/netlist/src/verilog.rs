@@ -192,7 +192,7 @@ impl<'a> Lexer<'a> {
     }
 }
 
-/// Parses flat structural Verilog produced by [`write`] back into a netlist.
+/// Parses flat structural Verilog produced by [`write()`] back into a netlist.
 ///
 /// # Errors
 ///

@@ -2,7 +2,7 @@
 //!
 //! Every layer caches its forward inputs when called with `train = true` and
 //! consumes the cache in `backward`, accumulating parameter gradients locally.
-//! The optimizer then visits all parameters through [`Layer::visit_params`].
+//! The optimizer then visits all parameters through [`Params::visit_params`].
 //!
 //! The set of layers is exactly what the DAC'19 network (paper Table 2) needs:
 //! dense ([`Linear`]), 3×3 convolution ([`Conv2d`], stride 1 or 3), leaky ReLU

@@ -8,7 +8,7 @@ use crate::layers::Params;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
-/// A first-order optimizer over a [`Layer`]'s parameters.
+/// A first-order optimizer over a [`Params`] implementor's parameters.
 pub trait Optimizer {
     /// Applies one update step from the accumulated gradients.
     fn step(&mut self, model: &mut dyn Params);

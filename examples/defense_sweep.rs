@@ -4,7 +4,8 @@
 //!
 //! Earlier versions of this example hand-tweaked one router knob
 //! (`escape_frac`); it now drives the real thing — placement perturbation,
-//! targeted wire lifting and decoy vias from `deepsplit::defense`, evaluated
+//! targeted wire lifting, decoy vias, routing obfuscation, pin-density
+//! equalization and netlist camouflage from `deepsplit::defense`, evaluated
 //! with the re-train-on-defended-corpus protocol and executed by the sweep
 //! engine (cells sharing a training corpus share one training run via the
 //! in-memory model store).

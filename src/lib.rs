@@ -12,7 +12,7 @@
 //! | [`nn`] | CPU deep-learning framework (tensors, conv/dense/residual layers, the paper's losses, Adam/SGD) |
 //! | [`flow`] | baselines: network-flow attack (Wang et al.) and naïve proximity attack, min-cost max-flow, CCR |
 //! | [`core`] | the paper's attack: candidates, vector/image features, hybrid network, training, inference |
-//! | [`defense`] | split-manufacturing defenses (perturbation, wire lifting, decoys) + the attack-vs-defense sweep harness |
+//! | [`defense`] | split-manufacturing defenses (perturbation, wire lifting, decoys, routing obfuscation, pin-density equalization, netlist camouflage) + the attack-vs-defense sweep harness |
 //! | [`engine`] | sharded sweep engine: content-addressed model store, resumable matrix execution, Pareto regression artifacts |
 //!
 //! # Quickstart
