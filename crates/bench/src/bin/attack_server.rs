@@ -1,0 +1,154 @@
+//! The attack-inference server binary, plus a small load generator for the
+//! CI perf trajectory.
+//!
+//! ```text
+//! # Serve a disk-backed model store + ranked inference on port 8077:
+//! cargo run --release --bin attack_server -- --cache-dir .model-store
+//!
+//! # Knobs: --addr HOST:PORT, --threads N (HTTP workers), --lru N
+//! # (deserialized-model cache), --inference-threads N.
+//!
+//! # Point sweep shards at it from other machines:
+//! cargo run --release --bin defense_matrix -- --store-url http://HOST:8077 …
+//!
+//! # Query it directly:
+//! curl -s http://HOST:8077/healthz
+//! curl -s http://HOST:8077/metrics
+//! curl -s http://HOST:8077/models/<fingerprint>        # model blob
+//! curl -s -X POST http://HOST:8077/attack -d @spec.json
+//!
+//! # Load loop (requests/sec + p50/p99 into BENCH_serve.json):
+//! cargo run --release --bin attack_server -- \
+//!     --loadgen http://HOST:8077 --requests 200 --json BENCH_serve.json
+//! ```
+//!
+//! Without `--cache-dir` the store is in-memory: still shared across every
+//! client of this server process, gone when it exits.
+
+use deepsplit_bench::cli::{usize_arg, value_arg};
+use deepsplit_core::httpc;
+use deepsplit_core::store::{DiskModelStore, MemoryModelStore, ModelStore};
+use deepsplit_serve::{start, ServeConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The `BENCH_serve.json` artifact: one load-loop measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeBenchReport {
+    /// Server under test.
+    url: String,
+    /// Path every request hit.
+    path: String,
+    /// Requests attempted.
+    requests: usize,
+    /// Requests that did not answer 2xx (or failed outright).
+    failures: usize,
+    /// Wall-clock of the whole loop in seconds.
+    wall_s: f64,
+    /// Successful requests per second.
+    requests_per_sec: f64,
+    /// Median request latency in milliseconds.
+    p50_ms: f64,
+    /// 99th-percentile request latency in milliseconds.
+    p99_ms: f64,
+}
+
+/// Serial request loop against `base + path`: the single-client floor of the
+/// serve perf trajectory (no pipelining, one connection per request — the
+/// same cost model as `RemoteModelStore`).
+fn loadgen(base: &str, path: &str, requests: usize, json_out: Option<String>) {
+    let url = format!("{}{path}", base.trim_end_matches('/'));
+    let timeout = Duration::from_secs(30);
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
+    let mut failures = 0usize;
+    let started = Instant::now();
+    for _ in 0..requests {
+        let t0 = Instant::now();
+        match httpc::get(&url, timeout) {
+            Ok(r) if r.is_success() => {
+                latencies_us.push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            Ok(r) => {
+                eprintln!("loadgen: {url} answered HTTP {}", r.status);
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("loadgen: {url}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let wall = started.elapsed();
+    latencies_us.sort_unstable();
+    let report = ServeBenchReport {
+        url: base.to_string(),
+        path: path.to_string(),
+        requests,
+        failures,
+        wall_s: wall.as_secs_f64(),
+        requests_per_sec: latencies_us.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: deepsplit_serve::metrics::percentile_ms(&latencies_us, 0.50),
+        p99_ms: deepsplit_serve::metrics::percentile_ms(&latencies_us, 0.99),
+    };
+    eprintln!(
+        "loadgen: {} requests to {} in {:.2}s — {:.0} req/s, p50 {:.2}ms, p99 {:.2}ms, {} failures",
+        report.requests,
+        report.path,
+        report.wall_s,
+        report.requests_per_sec,
+        report.p50_ms,
+        report.p99_ms,
+        report.failures,
+    );
+    if let Some(path) = json_out {
+        let json = serde_json::to_string_pretty(&report).expect("serialise bench report");
+        std::fs::write(&path, json).expect("write bench report");
+        eprintln!("wrote {path}");
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(base) = value_arg(&args, "--loadgen") {
+        let requests = usize_arg(&args, "--requests", 200);
+        let path = value_arg(&args, "--path").unwrap_or_else(|| "/healthz".to_string());
+        loadgen(&base, &path, requests, value_arg(&args, "--json"));
+        return;
+    }
+
+    let config = ServeConfig {
+        addr: value_arg(&args, "--addr").unwrap_or_else(|| "127.0.0.1:8077".to_string()),
+        threads: usize_arg(&args, "--threads", ServeConfig::default().threads),
+        lru_capacity: usize_arg(&args, "--lru", ServeConfig::default().lru_capacity),
+        inference_threads: usize_arg(
+            &args,
+            "--inference-threads",
+            ServeConfig::default().inference_threads,
+        ),
+    };
+    let store: Arc<dyn ModelStore + Send + Sync> = match value_arg(&args, "--cache-dir") {
+        Some(dir) => {
+            let store = DiskModelStore::open(&dir).expect("open model store");
+            eprintln!("model store: {dir}");
+            Arc::new(store)
+        }
+        None => {
+            eprintln!("model store: in-memory (pass --cache-dir DIR to persist)");
+            Arc::new(MemoryModelStore::new())
+        }
+    };
+
+    let server = start(&config, store).expect("bind server address");
+    eprintln!(
+        "attack_server listening on http://{} ({} workers, LRU {})",
+        server.addr(),
+        config.threads,
+        config.lru_capacity,
+    );
+    server.wait();
+}

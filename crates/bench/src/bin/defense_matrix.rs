@@ -21,9 +21,14 @@
 //! # Interrupted? Re-run with --resume to keep completed cells (the model
 //! # store is required, so pending cells reload instead of re-training):
 //! cargo run --release --bin defense_matrix -- --artifacts runs/m --cache-dir .model-store --resume
+//!
+//! # Share one cache across machines via an attack_server (--cache-dir then
+//! # acts as a local write-through cache in front of the remote store):
+//! cargo run --release --bin defense_matrix -- --store-url http://10.0.0.5:8077
 //! ```
 
-use deepsplit_core::store::{DiskModelStore, MemoryModelStore, ModelStore};
+use deepsplit_bench::cli::{list_arg, value_arg};
+use deepsplit_core::store::{DiskModelStore, MemoryModelStore, ModelStore, RemoteModelStore};
 use deepsplit_defense::sweep::{self, SweepConfig};
 use deepsplit_defense::DefenseKind;
 use deepsplit_engine::{
@@ -32,16 +37,6 @@ use deepsplit_engine::{
 use deepsplit_layout::geom::Layer;
 use deepsplit_netlist::benchmarks::Benchmark;
 use std::path::PathBuf;
-
-fn list_arg(args: &[String], flag: &str) -> Option<Vec<String>> {
-    let pos = args.iter().position(|a| a == flag)?;
-    Some(args.get(pos + 1)?.split(',').map(str::to_string).collect())
-}
-
-fn value_arg(args: &[String], flag: &str) -> Option<String> {
-    let pos = args.iter().position(|a| a == flag)?;
-    args.get(pos + 1).cloned()
-}
 
 fn parse_shard(s: &str) -> (usize, usize) {
     let (index, count) = s
@@ -143,7 +138,11 @@ fn report_full(results: Vec<deepsplit_defense::eval::EvalOutcome>, json_path: Op
     }
 
     if let Some(path) = json_path {
-        std::fs::write(&path, report.to_json()).expect("write matrix json");
+        let json = report.to_json().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+        std::fs::write(&path, json).expect("write matrix json");
         eprintln!("wrote {path}");
     }
 }
@@ -171,9 +170,12 @@ fn main() {
         "--resume requires --artifacts DIR (the directory holding the completed cells)"
     );
     assert!(
-        !resume || value_arg(&args, "--cache-dir").is_some(),
-        "--resume requires --cache-dir DIR: resumed artifacts skip evaluation, but without \
-         the model store every still-pending cell silently re-trains its models from scratch"
+        !resume
+            || value_arg(&args, "--cache-dir").is_some()
+            || value_arg(&args, "--store-url").is_some(),
+        "--resume requires --cache-dir DIR or --store-url URL: resumed artifacts skip \
+         evaluation, but without a model store every still-pending cell silently re-trains \
+         its models from scratch"
     );
 
     // Merge mode: reassemble shard artifacts, no evaluation. The protocol
@@ -224,15 +226,34 @@ fn main() {
         strengths.len(),
     );
 
-    let disk_store = value_arg(&args, "--cache-dir")
-        .map(|dir| DiskModelStore::open(dir).expect("open model store"));
-    let memory_store = MemoryModelStore::new();
-    let store: &dyn ModelStore = match &disk_store {
-        Some(s) => s,
-        None => &memory_store,
+    // Model-store selection: a remote attack_server (with --cache-dir as an
+    // optional local write-through in front of it), a plain disk store, or
+    // per-process memory.
+    let store: Box<dyn ModelStore> = if let Some(url) = value_arg(&args, "--store-url") {
+        let cache = value_arg(&args, "--cache-dir").map(PathBuf::from);
+        match RemoteModelStore::open(&url, cache) {
+            Ok(s) => {
+                eprintln!("model store: {}", s.base_url());
+                Box::new(s)
+            }
+            Err(e) => {
+                eprintln!("--store-url {url}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if let Some(dir) = value_arg(&args, "--cache-dir") {
+        Box::new(DiskModelStore::open(dir).expect("open model store"))
+    } else {
+        Box::new(MemoryModelStore::new())
     };
 
-    let run: MatrixRun = deepsplit_engine::run(&engine_config, store);
+    let run: MatrixRun = match deepsplit_engine::run(&engine_config, store.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("engine run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!("{}", run.stats.summary());
 
     if run.is_full() {

@@ -126,6 +126,43 @@ impl Profile {
     }
 }
 
+/// Shared `--flag value` parsing for the bench binaries, so
+/// `defense_matrix`, `attack_server` and friends cannot drift apart on CLI
+/// conventions.
+pub mod cli {
+    /// The value following `flag`, if present.
+    pub fn value_arg(args: &[String], flag: &str) -> Option<String> {
+        let pos = args.iter().position(|a| a == flag)?;
+        args.get(pos + 1).cloned()
+    }
+
+    /// The comma-separated list following `flag`, if present.
+    pub fn list_arg(args: &[String], flag: &str) -> Option<Vec<String>> {
+        Some(
+            value_arg(args, flag)?
+                .split(',')
+                .map(str::to_string)
+                .collect(),
+        )
+    }
+
+    /// The value following `flag` parsed as a `usize`, or `default` when
+    /// the flag is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the flag and offending value named) when the value does
+    /// not parse — CLI misconfigurations should fail loudly up front.
+    pub fn usize_arg(args: &[String], flag: &str, default: usize) -> usize {
+        value_arg(args, flag)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("bad {flag} value `{v}`"))
+            })
+            .unwrap_or(default)
+    }
+}
+
 /// Parses a `--designs c432,b13` CLI filter.
 pub fn design_filter(args: &[String]) -> Option<Vec<Benchmark>> {
     let pos = args.iter().position(|a| a == "--designs")?;

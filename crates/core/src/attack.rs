@@ -45,28 +45,7 @@ pub fn attack_with_threads(
     let start = Instant::now();
     let threads = threads.max(1);
     let use_images = trained.model.kind == ModelKind::VecImg && prepared.channels > 0;
-
-    // Phase 1: embed all unique images (batched per worker).
-    let embeddings: HashMap<ImageKey, Tensor> = if use_images {
-        let keys: Vec<ImageKey> = prepared.images.keys().copied().collect();
-        let chunk = 8usize;
-        let batches: Vec<&[ImageKey]> = keys.chunks(chunk).collect();
-        let results = parallel_map(&batches, threads, |batch| {
-            let mut m = trained.model.clone();
-            let imgs: Vec<&Tensor> = batch.iter().map(|k| &prepared.images[k]).collect();
-            let stacked = stack_batch(&imgs);
-            let emb = m.embed_images(&stacked, false);
-            let (rows, d) = emb.dims2();
-            (0..rows)
-                .map(|r| Tensor::from_vec(&[1, d], emb.data()[r * d..(r + 1) * d].to_vec()))
-                .collect::<Vec<_>>()
-        });
-        keys.into_iter()
-            .zip(results.into_iter().flatten())
-            .collect()
-    } else {
-        HashMap::new()
-    };
+    let embeddings = embed_unique_images(trained, prepared, threads, use_images);
 
     // Phase 2: score all queries.
     let indices: Vec<usize> = (0..prepared.num_queries()).collect();
@@ -80,20 +59,8 @@ pub fn attack_with_threads(
             if set.candidates.is_empty() {
                 continue;
             }
-            let vectors = prepared.vectors(qi, &trained.normalizer);
-            let scores = if use_images {
-                let (sink_key, cand_keys) = &prepared.image_keys[qi];
-                let sink_emb = embeddings[sink_key].clone();
-                let src_rows: Vec<Tensor> =
-                    cand_keys.iter().map(|k| embeddings[k].clone()).collect();
-                let src_refs: Vec<&Tensor> = src_rows.iter().collect();
-                let src = stack_rows2(&src_refs);
-                m.score_from_embeddings(&vectors, Some((&src, &sink_emb)), false)
-            } else {
-                m.score_from_embeddings(&vectors, None, false)
-            };
-            let probs = m.candidate_scores(&scores);
-            let best = probs
+            let scores = query_scores(&mut m, trained, prepared, &embeddings, qi, use_images);
+            let best = scores
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
@@ -107,6 +74,175 @@ pub fn attack_with_threads(
     let assignment: Assignment = picks.into_iter().flatten().collect();
     AttackOutcome {
         assignment,
+        inference: start.elapsed(),
+    }
+}
+
+/// Phase 1 of inference: embed every unique virtual-pin image once (batched
+/// per worker). Empty when the model or design carries no images.
+fn embed_unique_images(
+    trained: &TrainedAttack,
+    prepared: &PreparedDesign,
+    threads: usize,
+    use_images: bool,
+) -> HashMap<ImageKey, Tensor> {
+    if !use_images {
+        return HashMap::new();
+    }
+    let keys: Vec<ImageKey> = prepared.images.keys().copied().collect();
+    let chunk = 8usize;
+    let batches: Vec<&[ImageKey]> = keys.chunks(chunk).collect();
+    let results = parallel_map(&batches, threads, |batch| {
+        let mut m = trained.model.clone();
+        let imgs: Vec<&Tensor> = batch.iter().map(|k| &prepared.images[k]).collect();
+        let stacked = stack_batch(&imgs);
+        let emb = m.embed_images(&stacked, false);
+        let (rows, d) = emb.dims2();
+        (0..rows)
+            .map(|r| Tensor::from_vec(&[1, d], emb.data()[r * d..(r + 1) * d].to_vec()))
+            .collect::<Vec<_>>()
+    });
+    keys.into_iter()
+        .zip(results.into_iter().flatten())
+        .collect()
+}
+
+/// Raw per-candidate scores of query `qi`, in candidate order: logits for
+/// the softmax-regression head, independent probabilities for the
+/// two-class head. This is the argmax input — pass it through
+/// [`confidence_distribution`] before reporting values as probabilities.
+fn query_scores(
+    m: &mut crate::model::AttackModel,
+    trained: &TrainedAttack,
+    prepared: &PreparedDesign,
+    embeddings: &HashMap<ImageKey, Tensor>,
+    qi: usize,
+    use_images: bool,
+) -> Vec<f32> {
+    let vectors = prepared.vectors(qi, &trained.normalizer);
+    let scores = if use_images {
+        let (sink_key, cand_keys) = &prepared.image_keys[qi];
+        let sink_emb = embeddings[sink_key].clone();
+        let src_rows: Vec<Tensor> = cand_keys.iter().map(|k| embeddings[k].clone()).collect();
+        let src_refs: Vec<&Tensor> = src_rows.iter().collect();
+        let src = stack_rows2(&src_refs);
+        m.score_from_embeddings(&vectors, Some((&src, &sink_emb)), false)
+    } else {
+        m.score_from_embeddings(&vectors, None, false)
+    };
+    m.candidate_scores(&scores)
+}
+
+/// Turns the model's per-candidate scores into a probability distribution
+/// over the candidate list (paper Eq. 2). Softmax-regression scores are raw
+/// logits, so they pass through a (numerically stable) softmax; two-class
+/// scores are already per-candidate probabilities and are normalised to sum
+/// to one. Both transforms are strictly monotone, so the ranking they induce
+/// is exactly the raw argmax ranking.
+fn confidence_distribution(loss: crate::model::LossKind, scores: &[f32]) -> Vec<f32> {
+    match loss {
+        crate::model::LossKind::SoftmaxRegression => deepsplit_nn::loss::softmax(scores),
+        crate::model::LossKind::TwoClass => {
+            let sum: f32 = scores.iter().sum();
+            if sum > 0.0 {
+                scores.iter().map(|&p| p / sum).collect()
+            } else {
+                vec![1.0 / scores.len().max(1) as f32; scores.len()]
+            }
+        }
+    }
+}
+
+/// One sink fragment's scored candidate list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedQuery {
+    /// The sink fragment being resolved.
+    pub sink: FragId,
+    /// Its broken-pin count `cᵢ` — the weight it carries in CCR (Eq. 1).
+    pub sink_pins: usize,
+    /// `(candidate source, softmax confidence)`, best first; ties broken
+    /// toward the earlier candidate-list position, matching [`attack`]'s
+    /// argmax exactly.
+    pub ranked: Vec<(FragId, f32)>,
+}
+
+/// Result of ranked inference: everything [`attack`] computes, but keeping
+/// the full per-candidate confidence distribution instead of only the
+/// argmax — the payload an inference service returns to its callers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedOutcome {
+    /// One entry per sink fragment with at least one candidate, in sink
+    /// order.
+    pub queries: Vec<RankedQuery>,
+    /// Wall-clock inference time (embedding + scoring).
+    pub inference: Duration,
+}
+
+impl RankedOutcome {
+    /// The top-1 assignment — identical to what [`attack`] returns for the
+    /// same model and design.
+    pub fn assignment(&self) -> Assignment {
+        self.queries
+            .iter()
+            .filter(|q| !q.ranked.is_empty())
+            .map(|q| (q.sink, q.ranked[0].0))
+            .collect()
+    }
+}
+
+/// Ranked inference: scores every sink fragment's candidates and keeps the
+/// `top_k` best per sink (`0` = all), sorted by descending confidence.
+///
+/// The ordering is total and deterministic, so the first entry of each
+/// query reproduces [`attack_with_threads`]'s pick bit-for-bit and the
+/// result is thread-count invariant like the rest of inference.
+pub fn attack_ranked(
+    trained: &TrainedAttack,
+    prepared: &PreparedDesign,
+    top_k: usize,
+    threads: usize,
+) -> RankedOutcome {
+    let start = Instant::now();
+    let threads = threads.max(1);
+    let use_images = trained.model.kind == ModelKind::VecImg && prepared.channels > 0;
+    let embeddings = embed_unique_images(trained, prepared, threads, use_images);
+
+    let indices: Vec<usize> = (0..prepared.num_queries()).collect();
+    let shard = indices.len().div_ceil(threads).max(1);
+    let shards: Vec<&[usize]> = indices.chunks(shard).collect();
+    let ranked = parallel_map(&shards, threads, |shard| {
+        let mut m = trained.model.clone();
+        let mut out: Vec<RankedQuery> = Vec::with_capacity(shard.len());
+        for &qi in shard.iter() {
+            let set = &prepared.sets[qi];
+            if set.candidates.is_empty() {
+                continue;
+            }
+            let scores = query_scores(&mut m, trained, prepared, &embeddings, qi, use_images);
+            let probs = confidence_distribution(trained.model.loss, &scores);
+            // Sort on the RAW scores with candidate-list position as the
+            // tie-break — exactly the argmax path's rule. Sorting on the
+            // normalised probabilities instead could disagree on candidates
+            // whose distinct scores round to one probability.
+            let mut order: Vec<usize> = (0..scores.len()).collect();
+            order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+            if top_k > 0 {
+                order.truncate(top_k);
+            }
+            out.push(RankedQuery {
+                sink: set.sink,
+                sink_pins: prepared.view.fragment(set.sink).sink_count,
+                ranked: order
+                    .into_iter()
+                    .map(|i| (set.candidates[i].source, probs[i]))
+                    .collect(),
+            });
+        }
+        out
+    });
+
+    RankedOutcome {
+        queries: ranked.into_iter().flatten().collect(),
         inference: start.elapsed(),
     }
 }
@@ -202,6 +338,63 @@ mod tests {
         let a = attack(&trained, &victim);
         let b = attack(&trained, &victim);
         assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn ranked_top1_matches_argmax_attack() {
+        for use_images in [false, true] {
+            let config = AttackConfig {
+                epochs: 2,
+                ..tiny(use_images)
+            };
+            let train_d = vec![prepared(Benchmark::C880, 3, &config)];
+            let (trained, _) = train(&train_d, &config);
+            let victim = prepared(Benchmark::C432, 4, &config);
+            let plain = attack(&trained, &victim);
+            let ranked = attack_ranked(&trained, &victim, 0, 3);
+            assert_eq!(
+                ranked.assignment(),
+                plain.assignment,
+                "images={use_images}: ranked top-1 must reproduce the argmax"
+            );
+            for q in &ranked.queries {
+                assert!(q.sink_pins > 0, "sink weight must be positive");
+                let mut last = f32::INFINITY;
+                let mut sum = 0.0f32;
+                for &(_, p) in &q.ranked {
+                    assert!((0.0..=1.0).contains(&p), "confidence {p} outside [0, 1]");
+                    assert!(p <= last, "confidences must be sorted descending");
+                    last = p;
+                    sum += p;
+                }
+                assert!(
+                    (sum - 1.0).abs() < 1e-3,
+                    "untruncated softmax confidences must sum to 1, got {sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_truncates_to_top_k() {
+        let config = tiny(false);
+        let train_d = vec![prepared(Benchmark::C880, 3, &config)];
+        let (trained, _) = train(&train_d, &config);
+        let victim = prepared(Benchmark::C432, 4, &config);
+        let full = attack_ranked(&trained, &victim, 0, 2);
+        let top2 = attack_ranked(&trained, &victim, 2, 2);
+        assert_eq!(full.queries.len(), top2.queries.len());
+        for (f, t) in full.queries.iter().zip(&top2.queries) {
+            assert!(t.ranked.len() <= 2);
+            assert_eq!(
+                &f.ranked[..t.ranked.len()],
+                &t.ranked[..],
+                "top-k must be a prefix of the full ranking"
+            );
+        }
+        // Thread-count invariance extends to the full ranking (the wall
+        // clock obviously varies, the queries must not).
+        assert_eq!(full.queries, attack_ranked(&trained, &victim, 0, 7).queries);
     }
 
     #[test]

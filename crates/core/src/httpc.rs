@@ -1,0 +1,286 @@
+//! Minimal blocking HTTP/1.1 client over `std::net::TcpStream`.
+//!
+//! The workspace's compat-shim philosophy extends to networking: no
+//! `reqwest`/`hyper`, just enough HTTP/1.1 for the model-store blob API and
+//! the attack-inference endpoints served by the `deepsplit-serve` crate.
+//! Every request opens one connection, sends `Connection: close`, and reads
+//! the response to EOF — simple, stateless and thread-safe by construction,
+//! which is all a sweep worker hammering a shared cache needs.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// What went wrong talking to an HTTP peer.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The URL could not be parsed (only `http://host:port/path` is
+    /// supported).
+    Url(String),
+    /// Connecting, writing or reading failed.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The peer's bytes were not a parsable HTTP/1.x response.
+    Malformed(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Url(msg) => write!(f, "bad URL: {msg}"),
+            HttpError::Io { context, source } => write!(f, "{context}: {source}"),
+            HttpError::Malformed(msg) => write!(f, "malformed HTTP response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// An HTTP response: status code plus the full body.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (`200`, `404`, …).
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Whether the status is in the 2xx range.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// The body as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Malformed`] when the body is not valid UTF-8.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|e| HttpError::Malformed(format!("body is not UTF-8: {e}")))
+    }
+}
+
+/// Splits `http://host:port/path` into `(authority, path)`. A missing port
+/// defaults to `80`, a missing path to `/`.
+fn split_url(url: &str) -> Result<(String, String), HttpError> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| HttpError::Url(format!("only http:// URLs are supported, got `{url}`")))?;
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    if authority.is_empty() {
+        return Err(HttpError::Url(format!("empty host in `{url}`")));
+    }
+    let authority = if authority.contains(':') {
+        authority.to_string()
+    } else {
+        format!("{authority}:80")
+    };
+    Ok((authority, path.to_string()))
+}
+
+/// Performs one HTTP request and reads the full response.
+///
+/// `timeout` bounds connecting and each read/write individually (not the
+/// total wall clock, which matters for endpoints that legitimately take a
+/// while to produce the first byte *after* accepting the request body).
+///
+/// # Errors
+///
+/// Returns [`HttpError`] on a bad URL, any I/O failure or an unparsable
+/// response. HTTP error *statuses* (4xx/5xx) are returned as normal
+/// [`HttpResponse`]s — inspect [`HttpResponse::status`].
+pub fn request(
+    method: &str,
+    url: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> Result<HttpResponse, HttpError> {
+    let (authority, path) = split_url(url)?;
+    let io_err = |context: &str| {
+        let context = format!("{context} {authority}");
+        move |source: std::io::Error| HttpError::Io {
+            context: context.clone(),
+            source,
+        }
+    };
+    let mut stream = TcpStream::connect(&authority).map_err(io_err("connect to"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(io_err("configure"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(io_err("configure"))?;
+
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(io_err("write request to"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(io_err("read response from"))?;
+    parse_response(&raw)
+}
+
+/// Parses a full `Connection: close` response (head + body read to EOF).
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, HttpError> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| HttpError::Malformed("no header terminator".into()))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 response head".into()))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "bad status line `{status_line}`"
+        )));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status in `{status_line}`")))?;
+
+    let mut body = raw[head_end + 4..].to_vec();
+    // Honour Content-Length when present: a well-behaved peer never sends
+    // more, but truncating keeps a sloppy one from corrupting JSON bodies.
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                let len: usize = value.trim().parse().map_err(|_| {
+                    HttpError::Malformed(format!("bad Content-Length `{}`", value.trim()))
+                })?;
+                if body.len() < len {
+                    return Err(HttpError::Malformed(format!(
+                        "truncated body: {} of {len} bytes",
+                        body.len()
+                    )));
+                }
+                body.truncate(len);
+            }
+        }
+    }
+    Ok(HttpResponse { status, body })
+}
+
+/// `GET url`.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn get(url: &str, timeout: Duration) -> Result<HttpResponse, HttpError> {
+    request("GET", url, &[], timeout)
+}
+
+/// `PUT url` with `body`.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn put(url: &str, body: &[u8], timeout: Duration) -> Result<HttpResponse, HttpError> {
+    request("PUT", url, body, timeout)
+}
+
+/// `POST url` with `body`.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn post(url: &str, body: &[u8], timeout: Duration) -> Result<HttpResponse, HttpError> {
+    request("POST", url, body, timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    #[test]
+    fn url_splitting() {
+        assert_eq!(
+            split_url("http://127.0.0.1:8080/models/ab").unwrap(),
+            ("127.0.0.1:8080".to_string(), "/models/ab".to_string())
+        );
+        assert_eq!(
+            split_url("http://example.test").unwrap(),
+            ("example.test:80".to_string(), "/".to_string())
+        );
+        assert!(split_url("https://x/y").is_err(), "https is not supported");
+        assert!(split_url("http:///y").is_err(), "empty host");
+    }
+
+    #[test]
+    fn response_parsing() {
+        let r = parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.is_success());
+        assert_eq!(r.body_str().unwrap(), "ok");
+
+        let r = parse_response(b"HTTP/1.1 404 Not Found\r\n\r\n").unwrap();
+        assert_eq!(r.status, 404);
+        assert!(!r.is_success());
+        assert!(r.body.is_empty());
+
+        assert!(parse_response(b"junk").is_err());
+        assert!(parse_response(b"SPDY/9 200\r\n\r\n").is_err());
+        assert!(
+            parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nok").is_err(),
+            "short body must be rejected, not silently truncated"
+        );
+    }
+
+    #[test]
+    fn round_trip_against_raw_listener() -> std::io::Result<()> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let server = std::thread::spawn(move || -> std::io::Result<String> {
+            let (mut s, _) = listener.accept()?;
+            let mut buf = [0u8; 4096];
+            let mut seen = Vec::new();
+            // Read until the body ("ping") has arrived.
+            while !seen.ends_with(b"ping") {
+                let n = s.read(&mut buf)?;
+                assert!(n > 0, "client closed early");
+                seen.extend_from_slice(&buf[..n]);
+            }
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\npong")?;
+            Ok(String::from_utf8_lossy(&seen).into_owned())
+        });
+        let r = post(
+            &format!("http://{addr}/echo"),
+            b"ping",
+            Duration::from_secs(5),
+        )
+        .expect("request against local listener");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"pong");
+        let head = server.join().expect("server thread")?;
+        assert!(head.starts_with("POST /echo HTTP/1.1\r\n"), "{head}");
+        assert!(head.contains("Content-Length: 4"), "{head}");
+        Ok(())
+    }
+}

@@ -17,8 +17,11 @@
 //! * [`mod@attack`] — inference with image-embedding reuse; produces the
 //!   assignment evaluated by CCR (Eq. 1).
 //! * [`fingerprint`] — stable 128-bit content addresses for training corpora.
-//! * [`store`] — content-addressed [`TrainedAttack`] caches (memory / disk)
-//!   keyed by corpus fingerprint, so repeated sweeps skip re-training.
+//! * [`store`] — content-addressed [`TrainedAttack`] caches (memory / disk /
+//!   remote HTTP) keyed by corpus fingerprint, so repeated sweeps skip
+//!   re-training.
+//! * [`httpc`] — the minimal HTTP/1.1 client behind [`RemoteModelStore`],
+//!   shared with the `deepsplit-serve` integration tests and load generator.
 //!
 //! # Example: train on one design, attack another
 //!
@@ -53,6 +56,7 @@ pub mod candidates;
 pub mod config;
 pub mod dataset;
 pub mod fingerprint;
+pub mod httpc;
 pub mod image_features;
 pub mod model;
 pub mod recover;
@@ -60,13 +64,15 @@ pub mod store;
 pub mod train;
 pub mod vector_features;
 
-pub use attack::{attack, attack_with_threads, AttackOutcome};
+pub use attack::{
+    attack, attack_ranked, attack_with_threads, AttackOutcome, RankedOutcome, RankedQuery,
+};
 pub use candidates::{select_candidates, Candidate, CandidateSet};
 pub use config::AttackConfig;
 pub use dataset::PreparedDesign;
 pub use fingerprint::{CorpusFingerprint, StableHasher};
 pub use model::{AttackModel, LossKind, ModelKind};
 pub use recover::{functional_recovery, reconstruct};
-pub use store::{DiskModelStore, MemoryModelStore, ModelStore, StoreCounters};
+pub use store::{DiskModelStore, MemoryModelStore, ModelStore, RemoteModelStore, StoreCounters};
 pub use train::{train, train_or_load, TrainReport, TrainedAttack};
 pub use vector_features::{Normalizer, VECTOR_DIM};

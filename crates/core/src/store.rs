@@ -3,7 +3,7 @@
 //! A [`ModelStore`] maps a [`CorpusFingerprint`] to the
 //! [`TrainedAttack`] trained on that corpus, so any sweep cell whose corpus
 //! has already been trained — earlier in the same run, by another shard, or
-//! in a previous process — skips training entirely. Two backends:
+//! in a previous process — skips training entirely. Three backends:
 //!
 //! * [`MemoryModelStore`] — per-process, shares models across cells of one
 //!   sweep;
@@ -11,17 +11,24 @@
 //!   [`TrainedAttack::to_json`]), shared across processes and runs. Writes
 //!   are atomic (temp file + rename), so concurrent shards may point at the
 //!   same directory.
+//! * [`RemoteModelStore`] — the same blob namespace over HTTP
+//!   (`GET`/`PUT /models/{fingerprint}`, served by the `deepsplit-serve`
+//!   crate), so a fleet of shard workers on *different machines* warms one
+//!   shared cache. An optional local directory write-through caches every
+//!   model that passes through, keeping repeat loads off the network.
 //!
 //! JSON round-trips are bit-exact for the model's floats (see
 //! `crates/compat/serde`), so a cache hit reproduces the exact scores a
-//! fresh training run would have produced.
+//! fresh training run would have produced — wherever the bytes came from.
 
 use crate::fingerprint::CorpusFingerprint;
+use crate::httpc;
 use crate::train::TrainedAttack;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Atomically publishes `contents` as `dir/file_name`: writes a temp file
 /// whose name is unique across processes (pid) and threads (global
@@ -29,25 +36,42 @@ use std::sync::Mutex;
 /// write, and concurrent writers of the same name race harmlessly (last
 /// rename wins).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the write or rename fails; publishing is load-bearing for
-/// both the model store and the engine's resume artifacts, so a broken
-/// directory should stop the run.
-pub fn atomic_publish(dir: &Path, file_name: &str, contents: &str) {
+/// Returns the first failing write or rename. Callers that need to keep
+/// going (or to attach more context, like the engine's artifact writer)
+/// propagate this; callers for whom a broken directory should end the run
+/// use [`atomic_publish`].
+pub fn try_atomic_publish(dir: &Path, file_name: &str, contents: &str) -> std::io::Result<()> {
     static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
     let tmp = dir.join(format!(
         "{file_name}.tmp.{}.{}",
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    std::fs::write(&tmp, contents).unwrap_or_else(|e| panic!("write {}: {e}", tmp.display()));
-    let path = dir.join(file_name);
-    std::fs::rename(&tmp, &path).unwrap_or_else(|e| panic!("publish {}: {e}", path.display()));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, dir.join(file_name))
+}
+
+/// [`try_atomic_publish`] for load-bearing writes.
+///
+/// # Panics
+///
+/// Panics when the write or rename fails; publishing is load-bearing for
+/// the model stores, so a broken directory should stop the run.
+pub fn atomic_publish(dir: &Path, file_name: &str, contents: &str) {
+    try_atomic_publish(dir, file_name, contents)
+        .unwrap_or_else(|e| panic!("publish {}: {e}", dir.join(file_name).display()));
+}
+
+/// The HTTP resource a model lives under — shared by [`RemoteModelStore`]
+/// and the `deepsplit-serve` router, so client and server can never drift.
+pub fn model_resource(key: &CorpusFingerprint) -> String {
+    format!("/models/{}", key.to_hex())
 }
 
 /// Hit/miss/save counters of a store, for cache-effectiveness assertions.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct StoreCounters {
     /// Successful loads.
     pub hits: usize,
@@ -59,12 +83,35 @@ pub struct StoreCounters {
 
 /// A content-addressed model cache. Implementations are thread-safe: sweep
 /// workers share one store behind `&dyn ModelStore`.
+///
+/// The `*_json` methods move the *canonical JSON encoding* instead of the
+/// deserialized model — the currency of the blob API, where a server
+/// relaying multi-MB models should not pay a parse + re-serialize per
+/// request. Round-trips are bit-exact (see the module docs), so the two
+/// views of an entry can never disagree.
 pub trait ModelStore: Sync {
     /// The model stored under `key`, if any. Counts a hit or a miss.
     fn load(&self, key: &CorpusFingerprint) -> Option<TrainedAttack>;
 
     /// Stores `model` under `key`, replacing any previous entry.
     fn save(&self, key: &CorpusFingerprint, model: &TrainedAttack);
+
+    /// The canonical JSON of the model under `key`, if any. Counts a hit or
+    /// a miss like [`ModelStore::load`]. Backends whose native format *is*
+    /// the canonical JSON override this to skip the parse + re-serialize.
+    fn load_json(&self, key: &CorpusFingerprint) -> Option<String> {
+        self.load(key)
+            .map(|model| model.to_json().expect("re-serialise loaded model"))
+    }
+
+    /// Stores an already-validated model under `key` from both its parsed
+    /// and serialized forms; `json` must be `model`'s encoding. Counts a
+    /// save. Backends storing canonical JSON override this to publish the
+    /// bytes verbatim instead of re-serializing `model`.
+    fn save_json(&self, key: &CorpusFingerprint, json: &str, model: &TrainedAttack) {
+        let _ = json;
+        self.save(key, model);
+    }
 
     /// Counters accumulated since construction.
     fn counters(&self) -> StoreCounters;
@@ -203,19 +250,193 @@ impl ModelStore for DiskModelStore {
         self.counters.saves.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The file already holds canonical JSON, validated by whichever write
+    /// path produced it, so the bytes are handed back without parsing —
+    /// this is the endpoint a whole fleet hammers, and N workers × M models
+    /// of redundant multi-MB parses is exactly what the raw path exists to
+    /// avoid. A corrupt file (torn by something outside this workspace's
+    /// atomic writers) is therefore served as-is and surfaces as a parse
+    /// failure — and thus a plain miss — at the reading client.
+    fn load_json(&self, key: &CorpusFingerprint) -> Option<String> {
+        let found = std::fs::read_to_string(self.path_of(key)).ok();
+        self.counters.record(found.is_some());
+        found
+    }
+
+    /// Publishes the received bytes verbatim — they are the canonical
+    /// encoding of `model`, so the resulting file is identical to what
+    /// [`DiskModelStore::save`] would have written.
+    fn save_json(&self, key: &CorpusFingerprint, json: &str, _model: &TrainedAttack) {
+        atomic_publish(&self.dir, &Self::file_name_of(key), json);
+        self.counters.saves.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn counters(&self) -> StoreCounters {
         self.counters.snapshot()
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+/// How long a [`RemoteModelStore`] waits on any single network read/write.
+/// Model blobs are a few MB of JSON; a healthy LAN round-trip is far below
+/// this, so hitting the limit means the server is gone, not slow.
+const REMOTE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Remote store: the blob API of a `deepsplit-serve` model server
+/// (`GET`/`PUT /models/{fingerprint}`), with an optional local write-through
+/// directory so each worker pays the network at most once per model.
+///
+/// Failure philosophy mirrors the other backends: a load that cannot be
+/// satisfied (missing, network error, corrupt bytes) is a *miss* — the cell
+/// re-trains rather than the sweep aborting — while a failed *save* panics,
+/// because silently dropping freshly trained models would turn the shared
+/// cache into a lie for every other worker.
+#[derive(Debug)]
+pub struct RemoteModelStore {
+    base: String,
+    cache_dir: Option<PathBuf>,
+    counters: Counters,
+}
+
+impl RemoteModelStore {
+    /// Connects to the model server at `url` (e.g. `http://10.0.0.5:8077`),
+    /// failing fast if it is unreachable or unhealthy. With `cache_dir`,
+    /// every model loaded or saved is also written through to that local
+    /// directory (created if needed, same layout as [`DiskModelStore`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the cache directory cannot be created or the
+    /// server's `/healthz` does not answer `200` — a worker pointed at a
+    /// wrong URL should refuse to start, not silently re-train everything.
+    pub fn open(
+        url: impl Into<String>,
+        cache_dir: Option<PathBuf>,
+    ) -> std::io::Result<RemoteModelStore> {
+        let mut base = url.into();
+        while base.ends_with('/') {
+            base.pop();
+        }
+        if let Some(dir) = &cache_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        match httpc::get(&format!("{base}/healthz"), REMOTE_TIMEOUT) {
+            Ok(r) if r.is_success() => {}
+            Ok(r) => {
+                return Err(std::io::Error::other(format!(
+                    "model server at {base} is unhealthy: HTTP {}",
+                    r.status
+                )))
+            }
+            Err(e) => {
+                return Err(std::io::Error::other(format!(
+                    "model server at {base} is unreachable: {e}"
+                )))
+            }
+        }
+        Ok(RemoteModelStore {
+            base,
+            cache_dir,
+            counters: Counters::default(),
+        })
+    }
+
+    /// The server this store talks to, without a trailing slash.
+    pub fn base_url(&self) -> &str {
+        &self.base
+    }
+
+    fn blob_url(&self, key: &CorpusFingerprint) -> String {
+        format!("{}{}", self.base, model_resource(key))
+    }
+
+    fn cache_path(&self, key: &CorpusFingerprint) -> Option<PathBuf> {
+        self.cache_dir
+            .as_ref()
+            .map(|dir| dir.join(DiskModelStore::file_name_of(key)))
+    }
+
+    fn write_through(&self, key: &CorpusFingerprint, json: &str) {
+        if let Some(dir) = &self.cache_dir {
+            atomic_publish(dir, &DiskModelStore::file_name_of(key), json);
+        }
+    }
+}
+
+impl ModelStore for RemoteModelStore {
+    fn load(&self, key: &CorpusFingerprint) -> Option<TrainedAttack> {
+        // Local write-through cache first: repeat loads never touch the wire.
+        if let Some(path) = self.cache_path(key) {
+            if let Some(model) = std::fs::read_to_string(path)
+                .ok()
+                .and_then(|json| TrainedAttack::from_json(&json).ok())
+            {
+                self.counters.record(true);
+                return Some(model);
+            }
+        }
+        let url = self.blob_url(key);
+        let found = match httpc::get(&url, REMOTE_TIMEOUT) {
+            Ok(r) if r.status == 404 => None,
+            Ok(r) if r.is_success() => r.body_str().ok().and_then(|json| {
+                let model = TrainedAttack::from_json(json).ok();
+                if model.is_some() {
+                    self.write_through(key, json);
+                }
+                model
+            }),
+            Ok(r) => {
+                eprintln!("model store: GET {url} answered HTTP {}", r.status);
+                None
+            }
+            Err(e) => {
+                eprintln!("model store: GET {url} failed: {e}");
+                None
+            }
+        };
+        self.counters.record(found.is_some());
+        found
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the model cannot be serialised or the server refuses the
+    /// upload — see the type-level failure philosophy.
+    fn save(&self, key: &CorpusFingerprint, model: &TrainedAttack) {
+        let json = model.to_json().expect("serialise trained model");
+        let url = self.blob_url(key);
+        match httpc::put(&url, json.as_bytes(), REMOTE_TIMEOUT) {
+            Ok(r) if r.is_success() => {}
+            Ok(r) => panic!("model store: PUT {url} answered HTTP {}", r.status),
+            Err(e) => panic!("model store: PUT {url} failed: {e}"),
+        }
+        self.write_through(key, &json);
+        self.counters.saves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counters(&self) -> StoreCounters {
+        self.counters.snapshot()
+    }
+}
+
+pub mod conformance {
+    //! The [`ModelStore`] contract as an executable suite.
+    //!
+    //! Every backend's tests run [`check`] — memory and disk here in
+    //! `deepsplit-core`, the remote backend in `deepsplit-serve` against an
+    //! in-process server on an ephemeral port. A new backend that passes
+    //! [`check`] can be handed to `train_or_load` and the sweep engine
+    //! without re-deriving the semantics from the trait docs.
+
+    use super::{ModelStore, StoreCounters};
     use crate::config::AttackConfig;
+    use crate::fingerprint::CorpusFingerprint;
     use crate::model::{AttackModel, LossKind, ModelKind};
+    use crate::train::TrainedAttack;
     use crate::vector_features::Normalizer;
 
-    fn tiny_model(seed: u64) -> TrainedAttack {
+    /// A tiny untrained model whose weights differ per `seed` — enough to
+    /// tell two stored entries apart by their JSON encodings.
+    pub fn model(seed: u64) -> TrainedAttack {
         TrainedAttack {
             model: AttackModel::new(ModelKind::VecOnly, LossKind::SoftmaxRegression, 0, seed),
             normalizer: Normalizer::fit(std::iter::empty()),
@@ -223,54 +444,216 @@ mod tests {
         }
     }
 
-    fn key(n: u64) -> CorpusFingerprint {
+    /// A deterministic key, distinct per `n`.
+    pub fn key(n: u64) -> CorpusFingerprint {
         CorpusFingerprint([n, !n])
     }
 
-    #[test]
-    fn memory_store_round_trips_and_counts() {
-        let store = MemoryModelStore::new();
-        assert!(store.load(&key(1)).is_none());
-        store.save(&key(1), &tiny_model(1));
-        let back = store.load(&key(1)).expect("stored model");
-        assert_eq!(back.config, AttackConfig::fast());
-        assert!(store.load(&key(2)).is_none());
-        assert_eq!(
-            store.counters(),
-            StoreCounters {
-                hits: 1,
-                misses: 2,
-                saves: 1
-            }
+    /// The canonical identity of a model for equality assertions: its JSON
+    /// encoding, which is bit-exact for every float (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model cannot be serialised.
+    pub fn encoding(model: &TrainedAttack) -> String {
+        model.to_json().expect("serialise model for comparison")
+    }
+
+    /// Asserts the [`ModelStore`] contract: save/load round-trip,
+    /// hit/miss/save counter semantics, and overwrite-replaces. `store` must
+    /// not already hold any [`key`] entries (a fresh backend instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics (test-style assertions) on any contract violation.
+    pub fn check(store: &dyn ModelStore) {
+        let before = store.counters();
+        assert!(
+            store.load(&key(1)).is_none(),
+            "a store without the key must miss"
         );
-        assert_eq!(store.len(), 1);
+
+        // Round trip is bit-exact.
+        let first = model(1);
+        store.save(&key(1), &first);
+        let back = store.load(&key(1)).expect("saved model must load");
+        assert_eq!(
+            encoding(&back),
+            encoding(&first),
+            "round trip must reproduce the exact bytes"
+        );
+
+        // Overwrite replaces the previous entry.
+        let second = model(2);
+        assert_ne!(
+            encoding(&first),
+            encoding(&second),
+            "distinct seeds must produce distinguishable models"
+        );
+        store.save(&key(1), &second);
+        let back = store.load(&key(1)).expect("overwritten model must load");
+        assert_eq!(
+            encoding(&back),
+            encoding(&second),
+            "save must replace, not preserve, the previous entry"
+        );
+
+        // Keys are independent.
+        store.save(&key(2), &first);
+        let other = store.load(&key(2)).expect("second key must load");
+        assert_eq!(encoding(&other), encoding(&first));
+        let untouched = store.load(&key(1)).expect("first key must survive");
+        assert_eq!(
+            encoding(&untouched),
+            encoding(&second),
+            "writing one key must not disturb another"
+        );
+        assert!(
+            store.load(&key(3)).is_none(),
+            "an unwritten key must still miss"
+        );
+
+        // The JSON view is the same entry in canonical bytes, with the same
+        // hit/miss/save accounting.
+        let json = store
+            .load_json(&key(1))
+            .expect("json view of a stored key must load");
+        assert_eq!(
+            json,
+            encoding(&second),
+            "load_json must return the canonical encoding of the stored model"
+        );
+        assert!(
+            store.load_json(&key(3)).is_none(),
+            "the json view of an unwritten key must miss"
+        );
+        let third = model(3);
+        store.save_json(&key(2), &encoding(&third), &third);
+        let replaced = store.load(&key(2)).expect("save_json result must load");
+        assert_eq!(
+            encoding(&replaced),
+            encoding(&third),
+            "save_json must replace like save"
+        );
+
+        // Counter arithmetic: 6 hits, 3 misses, 4 saves beyond the baseline.
+        let after = store.counters();
+        assert_eq!(
+            after,
+            StoreCounters {
+                hits: before.hits + 6,
+                misses: before.misses + 3,
+                saves: before.saves + 4,
+            },
+            "counters must track exactly the loads and saves performed"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::conformance::{encoding, key, model};
+    use super::*;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("deepsplit-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
-    fn disk_store_round_trips_across_instances() {
-        let dir = std::env::temp_dir().join(format!("deepsplit-store-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let store = DiskModelStore::open(&dir).unwrap();
-        assert!(store.load(&key(7)).is_none());
-        let model = tiny_model(7);
-        store.save(&key(7), &model);
+    fn memory_store_passes_conformance() {
+        let store = MemoryModelStore::new();
+        conformance::check(&store);
+        assert_eq!(store.len(), 2, "conformance writes two distinct keys");
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn disk_store_passes_conformance() -> std::io::Result<()> {
+        let dir = temp_store_dir("conformance");
+        let store = DiskModelStore::open(&dir)?;
+        conformance::check(&store);
+        std::fs::remove_dir_all(&dir)
+    }
+
+    #[test]
+    fn disk_store_round_trips_across_instances() -> std::io::Result<()> {
+        let dir = temp_store_dir("reopen");
+        let store = DiskModelStore::open(&dir)?;
+        assert!(store.load(&key(7)).is_none(), "fresh directory must miss");
+        let saved = model(7);
+        store.save(&key(7), &saved);
 
         // A second instance (fresh process, conceptually) sees the entry.
-        let reopened = DiskModelStore::open(&dir).unwrap();
-        let back = reopened.load(&key(7)).expect("persisted model");
-        assert_eq!(back.model.kind, model.model.kind);
+        let reopened = DiskModelStore::open(&dir)?;
+        let back = reopened
+            .load(&key(7))
+            .expect("entry persisted by the first instance must load");
+        assert_eq!(encoding(&back), encoding(&saved));
         assert_eq!(
             reopened.counters(),
             StoreCounters {
                 hits: 1,
                 misses: 0,
                 saves: 0
-            }
+            },
+            "a reopened store starts counting from zero"
         );
+        std::fs::remove_dir_all(&dir)
+    }
 
-        // Corrupt entries degrade to a miss, not a crash.
-        std::fs::write(store.path_of(&key(9)), "{not json").unwrap();
-        assert!(reopened.load(&key(9)).is_none());
-        std::fs::remove_dir_all(&dir).unwrap();
+    #[test]
+    fn corrupt_disk_entry_counts_as_miss() -> std::io::Result<()> {
+        // Through the public API only: a corrupt entry must behave exactly
+        // like an absent one — `load` returns `None` AND the miss counter
+        // advances, so cache-effectiveness ledgers stay truthful.
+        let dir = temp_store_dir("corrupt");
+        let store = DiskModelStore::open(&dir)?;
+        std::fs::write(dir.join(format!("{}.json", key(9).to_hex())), "{not json")?;
+        assert!(
+            store.load(&key(9)).is_none(),
+            "corrupt entry must degrade to a miss, not a crash"
+        );
+        assert_eq!(
+            store.counters(),
+            StoreCounters {
+                hits: 0,
+                misses: 1,
+                saves: 0
+            },
+            "the degraded load must be counted as a miss"
+        );
+        // Overwriting the corrupt entry heals it.
+        store.save(&key(9), &model(9));
+        let healed = store
+            .load(&key(9))
+            .expect("overwriting a corrupt entry must heal it");
+        assert_eq!(encoding(&healed), encoding(&model(9)));
+        std::fs::remove_dir_all(&dir)
+    }
+
+    #[test]
+    fn remote_store_refuses_unreachable_server() {
+        // Port 1 on localhost: connection refused, so `open` must fail fast
+        // instead of handing back a store that misses forever.
+        let err = RemoteModelStore::open("http://127.0.0.1:1", None)
+            .expect_err("open against a dead server must fail");
+        assert!(
+            err.to_string().contains("unreachable"),
+            "error must say what is wrong: {err}"
+        );
+    }
+
+    #[test]
+    fn model_resource_matches_disk_layout() {
+        let k = key(3);
+        assert_eq!(model_resource(&k), format!("/models/{}", k.to_hex()));
+        assert_eq!(
+            DiskModelStore::file_name_of(&k),
+            format!("{}.json", k.to_hex()),
+            "remote resource and disk file name must agree on the hex form"
+        );
     }
 }

@@ -37,6 +37,7 @@ pub mod eval;
 pub mod lift;
 pub mod obfuscate;
 pub mod perturb;
+pub mod service;
 pub mod sweep;
 
 use deepsplit_layout::design::{Design, ImplementConfig};

@@ -7,11 +7,65 @@
 //! matrix from any combination of shard runs.
 
 use deepsplit_core::fingerprint::{CorpusFingerprint, StableHasher};
-use deepsplit_core::store::atomic_publish;
+use deepsplit_core::store::try_atomic_publish;
 use deepsplit_defense::eval::EvalOutcome;
 use deepsplit_defense::sweep::{Cell, SweepConfig};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+
+/// Why an engine invocation failed. Every variant names the path (or value)
+/// involved, so a worker failing deep inside a sharded sweep reports *what*
+/// broke — not just that something panicked somewhere.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The artifacts directory could not be created.
+    CreateArtifactsDir {
+        /// The directory that was being created.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A completed cell's artifact could not be published.
+    WriteArtifact {
+        /// The artifact file that was being written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A report or artifact could not be serialised.
+    Serialize {
+        /// What was being serialised.
+        what: &'static str,
+        /// The underlying serde error.
+        source: serde_json::Error,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::CreateArtifactsDir { path, source } => {
+                write!(f, "create artifacts directory {}: {source}", path.display())
+            }
+            EngineError::WriteArtifact { path, source } => {
+                write!(f, "write cell artifact {}: {source}", path.display())
+            }
+            EngineError::Serialize { what, source } => {
+                write!(f, "serialise {what}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::CreateArtifactsDir { source, .. }
+            | EngineError::WriteArtifact { source, .. } => Some(source),
+            EngineError::Serialize { source, .. } => Some(source),
+        }
+    }
+}
 
 /// The on-disk form of one completed cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,27 +110,37 @@ pub fn artifact_path(dir: &Path, index: usize) -> PathBuf {
 }
 
 /// Atomically publishes one completed cell (via
-/// [`deepsplit_core::store::atomic_publish`]).
+/// [`deepsplit_core::store::try_atomic_publish`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the artifact cannot be written — losing resume state silently
-/// would make an interrupted run unrecoverable.
+/// Returns an [`EngineError`] naming the artifact path when serialisation or
+/// the write fails — losing resume state silently would make an interrupted
+/// run unrecoverable, and a bare panic would not say *which* path to fix.
 pub fn write_artifact(
     dir: &Path,
     index: usize,
     total: usize,
     protocol: CorpusFingerprint,
     outcome: &EvalOutcome,
-) {
+) -> Result<(), EngineError> {
     let artifact = CellArtifact {
         index,
         total,
         protocol,
         outcome: outcome.clone(),
     };
-    let json = serde_json::to_string_pretty(&artifact).expect("serialise cell artifact");
-    atomic_publish(dir, &artifact_name(index), &json);
+    let json =
+        serde_json::to_string_pretty(&artifact).map_err(|source| EngineError::Serialize {
+            what: "cell artifact",
+            source,
+        })?;
+    try_atomic_publish(dir, &artifact_name(index), &json).map_err(|source| {
+        EngineError::WriteArtifact {
+            path: artifact_path(dir, index),
+            source,
+        }
+    })
 }
 
 /// Loads cell `index` if a valid artifact for exactly this
@@ -199,7 +263,7 @@ mod tests {
             },
         );
         let out = outcome("c432", 3, DefenseKind::Lift, 1.0);
-        write_artifact(&dir, 1, 2, protocol, &out);
+        write_artifact(&dir, 1, 2, protocol, &out).expect("write artifact");
         assert_eq!(load_artifact(&dir, 1, 2, protocol, &cell), Some(out));
         // Wrong matrix size, protocol, layer or defense → not resumable.
         assert_eq!(load_artifact(&dir, 1, 3, protocol, &cell), None);
@@ -260,11 +324,11 @@ mod tests {
         ];
         let protocol = CorpusFingerprint([3, 4]);
         let baseline = outcome("c432", 3, DefenseKind::None, 0.0);
-        write_artifact(&dir, 0, 2, protocol, &baseline);
+        write_artifact(&dir, 0, 2, protocol, &baseline).expect("write artifact");
         let err = merge_artifacts(&dir, &cells, protocol).unwrap_err();
         assert!(err.contains("[1]"), "must name the missing cell: {err}");
         let lifted = outcome("c432", 3, DefenseKind::Lift, 1.0);
-        write_artifact(&dir, 1, 2, protocol, &lifted);
+        write_artifact(&dir, 1, 2, protocol, &lifted).expect("write artifact");
         assert_eq!(
             merge_artifacts(&dir, &cells, protocol).unwrap(),
             vec![baseline, lifted]

@@ -29,7 +29,7 @@
 //! config.resume = true;        // pick up where an interrupted run stopped
 //!
 //! let store = DiskModelStore::open("model-store").unwrap();
-//! let shard = run(&config, &store);
+//! let shard = run(&config, &store).expect("artifact directory is writable");
 //! eprintln!("{}", shard.stats.summary());
 //!
 //! // Once every shard has run (possibly on other machines):
@@ -39,14 +39,14 @@
 //!     deepsplit_engine::artifacts::protocol_fingerprint(&config.sweep),
 //! )
 //! .unwrap();
-//! println!("{}", MatrixReport::new(full).to_json());
+//! println!("{}", MatrixReport::new(full).to_json().expect("serialise report"));
 //! ```
 
 pub mod artifacts;
 pub mod pareto;
 pub mod run;
 
-pub use artifacts::{merge_artifacts, protocol_fingerprint, CellArtifact};
+pub use artifacts::{merge_artifacts, protocol_fingerprint, CellArtifact, EngineError};
 pub use pareto::{ParetoFront, ParetoGroup, ParetoPoint};
 pub use run::{run, sweep, CellResult, EngineConfig, MatrixReport, MatrixRun, RunStats};
 

@@ -21,7 +21,7 @@
 //! fixed spec: cold, warm (cached), resumed and sharded-then-merged runs
 //! all produce identical [`EvalOutcome`]s.
 
-use crate::artifacts;
+use crate::artifacts::{self, EngineError};
 use crate::pareto::ParetoFront;
 use deepsplit_core::fingerprint::CorpusFingerprint;
 use deepsplit_core::store::{MemoryModelStore, ModelStore, StoreCounters};
@@ -29,6 +29,7 @@ use deepsplit_core::train::{self, TrainedAttack};
 use deepsplit_defense::eval::{
     attack_cell, corpus_fingerprint, defended_corpus, EvalBase, EvalOutcome,
 };
+use deepsplit_defense::service::canonical_train_eval;
 use deepsplit_defense::sweep::{Cell, SweepConfig};
 use deepsplit_netlist::benchmarks::Benchmark;
 use deepsplit_nn::parallel::{default_threads, parallel_map, split_budget};
@@ -143,8 +144,16 @@ impl MatrixReport {
     }
 
     /// The canonical pretty-JSON encoding.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("serialise matrix report")
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError::Serialize`] when the report cannot be
+    /// encoded.
+    pub fn to_json(&self) -> Result<String, EngineError> {
+        serde_json::to_string_pretty(self).map_err(|source| EngineError::Serialize {
+            what: "matrix report",
+            source,
+        })
     }
 
     /// Parses [`MatrixReport::to_json`] output.
@@ -159,11 +168,18 @@ impl MatrixReport {
 
 /// Runs `config`'s shard of the matrix through `store`.
 ///
+/// # Errors
+///
+/// Returns an [`EngineError`] naming the path involved when the artifacts
+/// directory cannot be created or a completed cell's artifact cannot be
+/// published — a sharded worker dying on I/O should say *which* path to
+/// fix, not unwind the whole process with a bare panic.
+///
 /// # Panics
 ///
-/// Panics on an invalid shard spec, on an empty training corpus (as
-/// [`EvalBase::build`]) and on artifact-write failures.
-pub fn run(config: &EngineConfig, store: &dyn ModelStore) -> MatrixRun {
+/// Panics on an invalid shard spec and on an empty training corpus (as
+/// [`EvalBase::build`]).
+pub fn run(config: &EngineConfig, store: &dyn ModelStore) -> Result<MatrixRun, EngineError> {
     let cells_total = config.sweep.cells().len();
     let selected = config.sweep.shard_cells();
     let cells_in_shard = selected.len();
@@ -174,7 +190,10 @@ pub fn run(config: &EngineConfig, store: &dyn ModelStore) -> MatrixRun {
     };
 
     if let Some(dir) = &config.artifacts_dir {
-        std::fs::create_dir_all(dir).expect("create artifacts directory");
+        std::fs::create_dir_all(dir).map_err(|source| EngineError::CreateArtifactsDir {
+            path: dir.clone(),
+            source,
+        })?;
     }
     let protocol = artifacts::protocol_fingerprint(&config.sweep);
 
@@ -197,9 +216,10 @@ pub fn run(config: &EngineConfig, store: &dyn ModelStore) -> MatrixRun {
     let counters_before = store.counters();
 
     // Canonical training config: see the module docs on why inner training
-    // parallelism is pinned to one thread.
-    let mut train_eval = config.sweep.eval.clone();
-    train_eval.attack.threads = 1;
+    // parallelism is pinned to one thread. The same canonicalisation is used
+    // by the serving layer, so sweep shards and `POST /attack` requests
+    // resolve identical cells to identical store keys.
+    let train_eval = canonical_train_eval(&config.sweep.eval);
 
     // One base implementation per benchmark still pending.
     let mut benches: Vec<Benchmark> = Vec::new();
@@ -252,30 +272,32 @@ pub fn run(config: &EngineConfig, store: &dyn ModelStore) -> MatrixRun {
         .zip(fps)
         .map(|((index, cell), fp)| (index, cell, fp))
         .collect();
-    let fresh: Vec<CellResult> = parallel_map(&jobs, plan.outer, |(index, cell, fp)| {
-        let base = base_of(cell.0);
-        let outcome = attack_cell(
-            base,
-            cell.1,
-            &cell.2,
-            &config.sweep.eval,
-            &models[fp],
-            plan.inner,
-        );
-        if let Some(dir) = &config.artifacts_dir {
-            artifacts::write_artifact(dir, *index, cells_total, protocol, &outcome);
-        }
-        CellResult {
-            index: *index,
-            outcome,
-        }
-    });
-
-    results.extend(fresh);
+    let fresh: Vec<Result<CellResult, EngineError>> =
+        parallel_map(&jobs, plan.outer, |(index, cell, fp)| {
+            let base = base_of(cell.0);
+            let outcome = attack_cell(
+                base,
+                cell.1,
+                &cell.2,
+                &config.sweep.eval,
+                &models[fp],
+                plan.inner,
+            );
+            if let Some(dir) = &config.artifacts_dir {
+                artifacts::write_artifact(dir, *index, cells_total, protocol, &outcome)?;
+            }
+            Ok(CellResult {
+                index: *index,
+                outcome,
+            })
+        });
+    for cell in fresh {
+        results.push(cell?);
+    }
     results.sort_by_key(|c| c.index);
 
     let counters_after = store.counters();
-    MatrixRun {
+    Ok(MatrixRun {
         cells: results,
         stats: RunStats {
             cells_total,
@@ -289,7 +311,7 @@ pub fn run(config: &EngineConfig, store: &dyn ModelStore) -> MatrixRun {
                 saves: counters_after.saves - counters_before.saves,
             },
         },
-    }
+    })
 }
 
 /// Convenience single-process sweep: runs `config`'s shard against a fresh
@@ -297,5 +319,7 @@ pub fn run(config: &EngineConfig, store: &dyn ModelStore) -> MatrixRun {
 /// and returns the outcomes in cell order.
 pub fn sweep(config: &SweepConfig) -> Vec<EvalOutcome> {
     let store = MemoryModelStore::new();
-    run(&EngineConfig::new(config.clone()), &store).outcomes()
+    run(&EngineConfig::new(config.clone()), &store)
+        .expect("in-memory sweep writes no artifacts, so it cannot fail on I/O")
+        .outcomes()
 }

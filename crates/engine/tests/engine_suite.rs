@@ -58,7 +58,7 @@ fn warm_store_skips_training_and_reproduces_bit_identical_results() {
     let engine_config = EngineConfig::new(config.clone());
     let store = MemoryModelStore::new();
 
-    let cold = run(&engine_config, &store);
+    let cold = run(&engine_config, &store).expect("cold run");
     assert_eq!(cold.stats.cells_total, 2);
     assert_eq!(cold.stats.models_trained, 2, "two distinct corpora");
     assert!(cold.stats.epochs_trained > 0);
@@ -66,7 +66,7 @@ fn warm_store_skips_training_and_reproduces_bit_identical_results() {
     assert!(cold.is_full());
 
     // Same store, same spec: everything resolves from cache…
-    let warm = run(&engine_config, &store);
+    let warm = run(&engine_config, &store).expect("warm run");
     assert_eq!(warm.stats.models_trained, 0, "warm run must not train");
     assert_eq!(warm.stats.epochs_trained, 0);
     assert_eq!(warm.stats.store.hits, 2);
@@ -74,8 +74,8 @@ fn warm_store_skips_training_and_reproduces_bit_identical_results() {
     // …and same fingerprint → bit-identical scores and artifact bytes.
     assert_eq!(cold.outcomes(), warm.outcomes());
     assert_eq!(
-        MatrixReport::new(cold.outcomes()).to_json(),
-        MatrixReport::new(warm.outcomes()).to_json()
+        MatrixReport::new(cold.outcomes()).to_json().expect("json"),
+        MatrixReport::new(warm.outcomes()).to_json().expect("json")
     );
 
     // A fresh store retrains but lands on the same bits: the sweep itself is
@@ -86,7 +86,10 @@ fn warm_store_skips_training_and_reproduces_bit_identical_results() {
     let outcomes = cold.outcomes();
     assert_eq!(outcomes[0].defense.kind, DefenseKind::None);
     let report = MatrixReport::new(outcomes);
-    assert_eq!(MatrixReport::from_json(&report.to_json()).unwrap(), report);
+    assert_eq!(
+        MatrixReport::from_json(&report.to_json().expect("json")).unwrap(),
+        report
+    );
 }
 
 #[test]
@@ -97,18 +100,18 @@ fn disk_store_amortises_across_instances() {
     let dir = tempdir("store");
 
     let cold_store = DiskModelStore::open(&dir).unwrap();
-    let cold = run(&engine_config, &cold_store);
+    let cold = run(&engine_config, &cold_store).expect("cold run");
     assert_eq!(cold.stats.models_trained, 1);
 
     // A fresh store instance on the same directory stands in for a second
     // process (or a later run): zero epochs, byte-identical artifact.
     let warm_store = DiskModelStore::open(&dir).unwrap();
-    let warm = run(&engine_config, &warm_store);
+    let warm = run(&engine_config, &warm_store).expect("warm run");
     assert_eq!(warm.stats.epochs_trained, 0);
     assert_eq!(warm.stats.store.hits, 1);
     assert_eq!(
-        MatrixReport::new(cold.outcomes()).to_json(),
-        MatrixReport::new(warm.outcomes()).to_json(),
+        MatrixReport::new(cold.outcomes()).to_json().expect("json"),
+        MatrixReport::new(warm.outcomes()).to_json().expect("json"),
         "a JSON-round-tripped model must reproduce exact scores"
     );
     std::fs::remove_dir_all(&dir).unwrap();
@@ -119,7 +122,7 @@ fn sharded_runs_merge_to_the_unsharded_matrix() {
     let mut config = tiny_sweep(vec![DefenseKind::Lift], vec![0.5, 1.0]);
     let store = MemoryModelStore::new();
 
-    let unsharded = run(&EngineConfig::new(config.clone()), &store);
+    let unsharded = run(&EngineConfig::new(config.clone()), &store).expect("unsharded run");
     assert_eq!(unsharded.stats.cells_total, 3);
 
     let dir = tempdir("shards");
@@ -132,7 +135,8 @@ fn sharded_runs_merge_to_the_unsharded_matrix() {
                 resume: false,
             },
             &store,
-        );
+        )
+        .expect("shard run");
         assert!(!shard_run.is_full());
         assert_eq!(shard_run.stats.cells_in_shard, 2 - index);
         assert_eq!(
@@ -167,16 +171,42 @@ fn resume_skips_completed_cells() {
     };
 
     // Nothing to resume yet: evaluates and publishes artifacts.
-    let first = run(&engine_config, &store);
+    let first = run(&engine_config, &store).expect("first run");
     assert_eq!(first.stats.cells_resumed, 0);
     assert_eq!(first.stats.cells_in_shard, 2);
 
     // Second run finds every cell on disk: no training, no store traffic,
     // identical results.
-    let resumed = run(&engine_config, &store);
+    let resumed = run(&engine_config, &store).expect("resumed run");
     assert_eq!(resumed.stats.cells_resumed, 2);
     assert_eq!(resumed.stats.epochs_trained, 0);
     assert_eq!(resumed.stats.store, Default::default());
     assert_eq!(resumed.outcomes(), first.outcomes());
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn broken_artifacts_dir_reports_the_path_instead_of_panicking() {
+    // A regular file where the artifacts directory should be: creation
+    // fails, and the error must carry the offending path so a sharded
+    // worker's crash report says what to fix.
+    let blocker = tempdir("blocked");
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let engine_config = EngineConfig {
+        sweep: tiny_sweep(vec![], vec![]),
+        artifacts_dir: Some(blocker.clone()),
+        resume: false,
+    };
+    let err = run(&engine_config, &MemoryModelStore::new())
+        .expect_err("a blocked artifacts directory must fail the run");
+    let message = err.to_string();
+    assert!(
+        message.contains("create artifacts directory"),
+        "error must say what failed: {message}"
+    );
+    assert!(
+        message.contains(&blocker.display().to_string()),
+        "error must name the path: {message}"
+    );
+    std::fs::remove_file(&blocker).unwrap();
 }

@@ -61,7 +61,11 @@ impl Default for FlowAttackConfig {
 }
 
 /// Result of the network-flow attack.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so attack services can return the baseline verdict on the
+/// wire next to the DL rankings (externally tagged:
+/// `{"Completed": [...]}` / `"TimedOut"`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FlowOutcome {
     /// Attack completed with this assignment.
     Completed(Assignment),

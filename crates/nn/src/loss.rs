@@ -13,8 +13,9 @@
 
 use crate::tensor::Tensor;
 
-/// Numerically stable softmax of a flat slice.
-fn softmax(xs: &[f32]) -> Vec<f32> {
+/// Numerically stable softmax of a flat slice — shared by the losses here
+/// and by ranked-inference confidence reporting in `deepsplit-core`.
+pub fn softmax(xs: &[f32]) -> Vec<f32> {
     let max = xs.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
     let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();
     let sum: f32 = exps.iter().sum();

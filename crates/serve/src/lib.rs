@@ -1,0 +1,48 @@
+//! # deepsplit-serve
+//!
+//! The attack as a **service**: a dependency-light HTTP/1.1 server (std
+//! [`std::net::TcpListener`] plus a worker threadpool — no async runtime,
+//! matching the workspace's compat-shim philosophy) that turns the trained
+//! DAC'19 attack into an online adversary and the model store into shared
+//! fleet infrastructure.
+//!
+//! Two APIs on one port:
+//!
+//! * **Model-blob API** — `GET`/`PUT /models/{fingerprint}` over any
+//!   [`deepsplit_core::store::ModelStore`] backend. Point sharded
+//!   `defense_matrix` workers at it with `--store-url` (the client side is
+//!   [`deepsplit_core::store::RemoteModelStore`]) and a whole fleet warms
+//!   one cache: the second machine to need a model downloads it instead of
+//!   training it.
+//! * **Inference API** — `POST /attack` accepts a serialized FEOL cell spec
+//!   ([`deepsplit_defense::service::AttackRequest`]), resolves the model
+//!   through `train_or_load` against the same store, and returns ranked
+//!   candidate matches with CCR-style confidences
+//!   ([`deepsplit_defense::service::AttackResponse`]).
+//!
+//! Between the two sits the serving machinery: an in-process LRU of
+//! deserialized models ([`lru`]), single-flight request batching (N
+//! concurrent requests for one cold model cost one training run), and a
+//! `/metrics` endpoint ([`metrics`]) surfacing store hit/miss counters,
+//! coalescing stats and latency percentiles.
+//!
+//! ```no_run
+//! use deepsplit_core::store::DiskModelStore;
+//! use deepsplit_serve::{start, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(DiskModelStore::open(".model-store").unwrap());
+//! let server = start(&ServeConfig::default(), store).unwrap();
+//! eprintln!("serving on {}", server.url());
+//! server.wait(); // foreground until shutdown
+//! ```
+
+pub mod http;
+pub mod lru;
+pub mod metrics;
+pub mod server;
+
+pub use http::{Request, Response};
+pub use lru::{LruCounters, ModelLru};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{start, AttackServer, RunningServer, ServeConfig};

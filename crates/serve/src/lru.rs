@@ -1,0 +1,213 @@
+//! In-process LRU of deserialized [`TrainedAttack`]s.
+//!
+//! The backing [`deepsplit_core::store::ModelStore`] deals in JSON blobs;
+//! parsing a multi-MB model on every `/attack` request would dominate
+//! inference for warm cells. The server therefore keeps the last
+//! `capacity` *deserialized* models behind [`std::sync::Arc`]s — concurrent
+//! requests for the same model share one allocation, and eviction is by
+//! least-recent use.
+
+use deepsplit_core::fingerprint::CorpusFingerprint;
+use deepsplit_core::train::TrainedAttack;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Usage counters of a [`ModelLru`], for the `/metrics` endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LruCounters {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that fell through to the store.
+    pub misses: usize,
+    /// Entries dropped to make room.
+    pub evictions: usize,
+    /// Entries currently held.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+/// The mutable core of a [`ModelLru`]: the entry list plus an invalidation
+/// generation, under one lock so "was anything invalidated since I started
+/// deserializing?" and "insert my deserialization" are one atomic question.
+#[derive(Debug, Default)]
+struct LruState {
+    /// Front = most recently used.
+    entries: VecDeque<(CorpusFingerprint, Arc<TrainedAttack>)>,
+    /// Bumped by every [`ModelLru::invalidate`].
+    generation: u64,
+}
+
+/// A thread-safe LRU keyed by corpus fingerprint. Capacity `0` disables
+/// caching (every [`ModelLru::get`] misses, [`ModelLru::put`] is a no-op).
+#[derive(Debug)]
+pub struct ModelLru {
+    capacity: usize,
+    state: Mutex<LruState>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl ModelLru {
+    /// An empty cache holding at most `capacity` models.
+    pub fn new(capacity: usize) -> ModelLru {
+        ModelLru {
+            capacity,
+            state: Mutex::new(LruState::default()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    /// The cached model under `key`, promoted to most-recently-used.
+    pub fn get(&self, key: &CorpusFingerprint) -> Option<Arc<TrainedAttack>> {
+        let mut state = self.state.lock().expect("lru poisoned");
+        let found = state.entries.iter().position(|(k, _)| k == key).map(|i| {
+            let entry = state.entries.remove(i).expect("position just found");
+            let model = Arc::clone(&entry.1);
+            state.entries.push_front(entry);
+            model
+        });
+        drop(state);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// The current invalidation generation. Snapshot it *before* loading or
+    /// deserializing a blob, then insert with [`ModelLru::put_if_fresh`] —
+    /// an invalidation in between (a concurrent `PUT /models` overwrite)
+    /// makes the insert a no-op, so a deserialization of the replaced blob
+    /// can never outlive it in this cache.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().expect("lru poisoned").generation
+    }
+
+    /// Inserts (or refreshes) `model` under `key`, evicting the least
+    /// recently used entry beyond capacity.
+    pub fn put(&self, key: CorpusFingerprint, model: Arc<TrainedAttack>) {
+        self.put_if_fresh(key, model, None);
+    }
+
+    /// [`ModelLru::put`] that is dropped when the generation moved past
+    /// `observed` (see [`ModelLru::generation`]). `None` always inserts.
+    pub fn put_if_fresh(
+        &self,
+        key: CorpusFingerprint,
+        model: Arc<TrainedAttack>,
+        observed: Option<u64>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("lru poisoned");
+        if let Some(observed) = observed {
+            if state.generation != observed {
+                return;
+            }
+        }
+        if let Some(i) = state.entries.iter().position(|(k, _)| *k == key) {
+            state.entries.remove(i);
+        }
+        state.entries.push_front((key, model));
+        while state.entries.len() > self.capacity {
+            state.entries.pop_back();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops the entry under `key` (if any) and advances the generation —
+    /// used when a `PUT /models` overwrites a blob so a cached (or
+    /// concurrently in-flight) deserialization cannot go stale.
+    pub fn invalidate(&self, key: &CorpusFingerprint) {
+        let mut state = self.state.lock().expect("lru poisoned");
+        state.generation += 1;
+        if let Some(i) = state.entries.iter().position(|(k, _)| k == key) {
+            state.entries.remove(i);
+        }
+    }
+
+    /// Current usage counters.
+    pub fn counters(&self) -> LruCounters {
+        LruCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.state.lock().expect("lru poisoned").entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsplit_core::store::conformance;
+
+    fn arc_model(seed: u64) -> Arc<TrainedAttack> {
+        Arc::new(conformance::model(seed))
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let lru = ModelLru::new(2);
+        lru.put(conformance::key(1), arc_model(1));
+        lru.put(conformance::key(2), arc_model(2));
+        // Touch 1 so 2 becomes the eviction victim.
+        assert!(lru.get(&conformance::key(1)).is_some());
+        lru.put(conformance::key(3), arc_model(3));
+        assert!(lru.get(&conformance::key(2)).is_none(), "2 was evicted");
+        assert!(lru.get(&conformance::key(1)).is_some());
+        assert!(lru.get(&conformance::key(3)).is_some());
+        let c = lru.counters();
+        assert_eq!((c.hits, c.misses, c.evictions, c.len), (3, 1, 1, 2));
+        assert_eq!(c.capacity, 2);
+    }
+
+    #[test]
+    fn put_refreshes_existing_entries() {
+        let lru = ModelLru::new(2);
+        lru.put(conformance::key(1), arc_model(1));
+        let replacement = arc_model(9);
+        lru.put(conformance::key(1), Arc::clone(&replacement));
+        let got = lru.get(&conformance::key(1)).expect("entry present");
+        assert!(Arc::ptr_eq(&got, &replacement), "put must replace");
+        assert_eq!(lru.counters().len, 1, "refresh must not duplicate");
+        lru.invalidate(&conformance::key(1));
+        assert!(lru.get(&conformance::key(1)).is_none());
+    }
+
+    #[test]
+    fn stale_puts_are_dropped_after_invalidation() {
+        // The PUT-overwrite race: a resolver snapshots the generation, a
+        // concurrent blob overwrite invalidates, and the resolver's insert
+        // of the now-replaced deserialization must be dropped.
+        let lru = ModelLru::new(2);
+        let observed = lru.generation();
+        lru.invalidate(&conformance::key(1)); // concurrent PUT /models
+        lru.put_if_fresh(conformance::key(1), arc_model(1), Some(observed));
+        assert!(
+            lru.get(&conformance::key(1)).is_none(),
+            "a deserialization of the replaced blob must not be cached"
+        );
+        // With a current snapshot the insert lands.
+        let observed = lru.generation();
+        lru.put_if_fresh(conformance::key(1), arc_model(1), Some(observed));
+        assert!(lru.get(&conformance::key(1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let lru = ModelLru::new(0);
+        lru.put(conformance::key(1), arc_model(1));
+        assert!(lru.get(&conformance::key(1)).is_none());
+        assert_eq!(lru.counters().len, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Server observability: request counters and a latency reservoir, exposed
+//! as the JSON `/metrics` endpoint.
+//!
+//! Counters are lock-free atomics bumped on the request path; latencies go
+//! into a bounded reservoir (the most recent [`LATENCY_SAMPLES`] requests)
+//! from which percentiles are computed at snapshot time, so the hot path
+//! never sorts anything.
+
+use crate::lru::LruCounters;
+use deepsplit_core::store::StoreCounters;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent request latencies the reservoir keeps.
+pub const LATENCY_SAMPLES: usize = 4096;
+
+/// Live counters of one server process.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests_total: AtomicUsize,
+    model_gets: AtomicUsize,
+    model_puts: AtomicUsize,
+    attacks: AtomicUsize,
+    attacks_coalesced: AtomicUsize,
+    models_trained: AtomicUsize,
+    epochs_trained: AtomicUsize,
+    errors: AtomicUsize,
+    latency_us: Mutex<VecDeque<u64>>,
+}
+
+/// Latency percentiles over the reservoir, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Median request latency.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency.
+    pub p99_ms: f64,
+    /// Samples currently in the reservoir.
+    pub samples: usize,
+}
+
+/// One coherent `/metrics` read-out.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests handled (any endpoint, any outcome).
+    pub requests_total: usize,
+    /// `GET /models/{fingerprint}` requests.
+    pub model_gets: usize,
+    /// `PUT /models/{fingerprint}` requests.
+    pub model_puts: usize,
+    /// `POST /attack` requests.
+    pub attacks: usize,
+    /// `/attack` requests that coalesced onto another request's in-flight
+    /// model resolution instead of training their own copy.
+    pub attacks_coalesced: usize,
+    /// Models this server trained (store misses it had to fill itself).
+    pub models_trained: usize,
+    /// Training epochs those models cost.
+    pub epochs_trained: usize,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: usize,
+    /// Backing model-store hit/miss/save counters.
+    pub store: StoreCounters,
+    /// In-process deserialized-model LRU counters.
+    pub lru: LruCounters,
+    /// Request latency percentiles.
+    pub latency: LatencySnapshot,
+}
+
+impl Metrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one handled request: which endpoint class, whether it
+    /// errored, and how long it took end-to-end.
+    ///
+    /// A `404` on a model *load* is a cache miss — a completely normal
+    /// store operation, already visible in [`StoreCounters::misses`] — so
+    /// it does not count as an error; everything else at 4xx/5xx does.
+    pub fn record_request(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let per_endpoint = match endpoint {
+            Endpoint::ModelGet => Some(&self.model_gets),
+            Endpoint::ModelPut => Some(&self.model_puts),
+            Endpoint::Attack => Some(&self.attacks),
+            Endpoint::Other => None,
+        };
+        if let Some(counter) = per_endpoint {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        let expected_miss = endpoint == Endpoint::ModelGet && status == 404;
+        if status >= 400 && !expected_miss {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut reservoir = self.latency_us.lock().expect("metrics poisoned");
+        if reservoir.len() == LATENCY_SAMPLES {
+            reservoir.pop_front();
+        }
+        reservoir.push_back(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records an `/attack` request that waited for another request's model
+    /// resolution instead of starting its own.
+    pub fn record_coalesced(&self) {
+        self.attacks_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a model this server had to train itself.
+    pub fn record_training(&self, epochs: usize) {
+        self.models_trained.fetch_add(1, Ordering::Relaxed);
+        self.epochs_trained.fetch_add(epochs, Ordering::Relaxed);
+    }
+
+    /// A coherent snapshot, folding in the store and LRU counters.
+    pub fn snapshot(&self, store: StoreCounters, lru: LruCounters) -> MetricsSnapshot {
+        let latency = {
+            let reservoir = self.latency_us.lock().expect("metrics poisoned");
+            let mut sorted: Vec<u64> = reservoir.iter().copied().collect();
+            sorted.sort_unstable();
+            LatencySnapshot {
+                p50_ms: percentile_ms(&sorted, 0.50),
+                p99_ms: percentile_ms(&sorted, 0.99),
+                samples: sorted.len(),
+            }
+        };
+        MetricsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            model_gets: self.model_gets.load(Ordering::Relaxed),
+            model_puts: self.model_puts.load(Ordering::Relaxed),
+            attacks: self.attacks.load(Ordering::Relaxed),
+            attacks_coalesced: self.attacks_coalesced.load(Ordering::Relaxed),
+            models_trained: self.models_trained.load(Ordering::Relaxed),
+            epochs_trained: self.epochs_trained.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            store,
+            lru,
+            latency,
+        }
+    }
+}
+
+/// Which endpoint class a request hit, for per-endpoint counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /models/{fingerprint}`.
+    ModelGet,
+    /// `PUT /models/{fingerprint}`.
+    ModelPut,
+    /// `POST /attack`.
+    Attack,
+    /// Everything else (`/healthz`, `/metrics`, unknown routes).
+    Other,
+}
+
+/// The `q`-quantile of pre-sorted microsecond samples, in milliseconds
+/// (nearest-rank; `0.0` on an empty set).
+pub fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert_eq!(percentile_ms(&us, 0.50), 50.0);
+        assert_eq!(percentile_ms(&us, 0.99), 99.0);
+        assert_eq!(percentile_ms(&us, 1.0), 100.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        assert_eq!(percentile_ms(&[7000], 0.99), 7.0);
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_requests() {
+        let m = Metrics::new();
+        m.record_request(Endpoint::ModelGet, 200, Duration::from_millis(2));
+        m.record_request(Endpoint::Attack, 200, Duration::from_millis(10));
+        m.record_request(Endpoint::Other, 404, Duration::from_millis(1));
+        m.record_coalesced();
+        m.record_training(12);
+        let s = m.snapshot(StoreCounters::default(), LruCounters::default());
+        assert_eq!(s.requests_total, 3);
+        assert_eq!(s.model_gets, 1);
+        assert_eq!(s.attacks, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.attacks_coalesced, 1);
+        assert_eq!(s.models_trained, 1);
+        assert_eq!(s.epochs_trained, 12);
+        assert_eq!(s.latency.samples, 3);
+        assert!(s.latency.p50_ms >= 1.0 && s.latency.p99_ms >= s.latency.p50_ms);
+        // The snapshot is itself wire-serializable for the /metrics route.
+        let json = serde_json::to_string(&s).expect("serialise snapshot");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parse snapshot");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn reservoir_is_bounded() {
+        let m = Metrics::new();
+        for _ in 0..(LATENCY_SAMPLES + 10) {
+            m.record_request(Endpoint::Other, 200, Duration::from_micros(5));
+        }
+        let s = m.snapshot(StoreCounters::default(), LruCounters::default());
+        assert_eq!(s.latency.samples, LATENCY_SAMPLES);
+    }
+}

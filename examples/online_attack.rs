@@ -1,0 +1,83 @@
+//! The attack as an online adversary: start an in-process attack server,
+//! POST a serialized FEOL cell spec, and read back ranked candidate matches
+//! with CCR-style confidences.
+//!
+//! ```bash
+//! cargo run --release --example online_attack
+//! ```
+//!
+//! Against a standalone server (`cargo run --release --bin attack_server`),
+//! the same request is one `curl -X POST http://HOST:8077/attack -d @spec.json`.
+
+use deepsplit::core::httpc;
+use deepsplit::prelude::*;
+use deepsplit::serve::{start, ServeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // An ephemeral-port server over a fresh in-memory store. Production
+    // would pass a DiskModelStore and a fixed --addr instead.
+    let server = start(
+        &ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        },
+        Arc::new(MemoryModelStore::new()),
+    )
+    .expect("bind ephemeral port");
+    println!("attack server on {}", server.url());
+
+    // A lifted c432, split after M3, under the fast evaluation protocol.
+    let mut spec = AttackRequest::fast(Benchmark::C432);
+    spec.defense = DefenseConfig {
+        kind: DefenseKind::Lift,
+        strength: 1.0,
+        seed: 11,
+    };
+    spec.top_k = 3;
+
+    let body = serde_json::to_string(&spec).expect("serialise spec");
+    let response = httpc::post(
+        &format!("{}/attack", server.url()),
+        body.as_bytes(),
+        Duration::from_secs(600), // a cold model trains first
+    )
+    .expect("POST /attack");
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    let verdict: AttackResponse =
+        serde_json::from_str(response.body_str().expect("UTF-8 body")).expect("parse response");
+
+    println!(
+        "model {} ({}), DL CCR {:.1} % (expected {:.1} %, chance {:.1} %, proximity {:.1} %), inference {:.1} ms",
+        &verdict.fingerprint[..8],
+        if verdict.model_cached { "cached" } else { "trained here" },
+        100.0 * verdict.dl_ccr,
+        100.0 * verdict.expected_ccr,
+        100.0 * verdict.chance_ccr,
+        100.0 * verdict.proximity_ccr,
+        verdict.inference_ms,
+    );
+    for sink in verdict.rankings.iter().take(5) {
+        let ranked: Vec<String> = sink
+            .candidates
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}{} {:.1} %",
+                    c.source,
+                    if c.correct { "✓" } else { "" },
+                    100.0 * c.confidence
+                )
+            })
+            .collect();
+        println!(
+            "  sink {:>3} ({} pins): {}",
+            sink.sink,
+            sink.sink_pins,
+            ranked.join(", ")
+        );
+    }
+
+    server.shutdown();
+}

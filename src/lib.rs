@@ -14,6 +14,7 @@
 //! | [`core`] | the paper's attack: candidates, vector/image features, hybrid network, training, inference |
 //! | [`defense`] | split-manufacturing defenses (perturbation, wire lifting, decoys, routing obfuscation, pin-density equalization, netlist camouflage) + the attack-vs-defense sweep harness |
 //! | [`engine`] | sharded sweep engine: content-addressed model store, resumable matrix execution, Pareto regression artifacts |
+//! | [`serve`] | attack-inference HTTP service: model-blob API shared by sweep fleets, ranked `/attack` endpoint, metrics |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use deepsplit_flow as flow;
 pub use deepsplit_layout as layout;
 pub use deepsplit_netlist as netlist;
 pub use deepsplit_nn as nn;
+pub use deepsplit_serve as serve;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
@@ -54,11 +56,14 @@ pub mod prelude {
     pub use deepsplit_core::dataset::PreparedDesign;
     pub use deepsplit_core::fingerprint::CorpusFingerprint;
     pub use deepsplit_core::recover::{functional_recovery, reconstruct};
-    pub use deepsplit_core::store::{DiskModelStore, MemoryModelStore, ModelStore, StoreCounters};
+    pub use deepsplit_core::store::{
+        DiskModelStore, MemoryModelStore, ModelStore, RemoteModelStore, StoreCounters,
+    };
     pub use deepsplit_core::train;
+    pub use deepsplit_defense::service::{AttackRequest, AttackResponse};
     pub use deepsplit_defense::{self as defense, DefendedDesign, DefenseConfig, DefenseKind};
     pub use deepsplit_engine::{
-        self as engine, EngineConfig, MatrixReport, MatrixRun, ParetoFront,
+        self as engine, EngineConfig, EngineError, MatrixReport, MatrixRun, ParetoFront,
     };
     pub use deepsplit_flow::attack::{network_flow_attack, FlowAttackConfig, FlowOutcome};
     pub use deepsplit_flow::metrics::{ccr, fragment_accuracy, Assignment};
@@ -68,4 +73,5 @@ pub mod prelude {
     pub use deepsplit_layout::split::{audit, split_design, FragId, FragKind, Fragment, SplitView};
     pub use deepsplit_netlist::benchmarks::{self, Benchmark};
     pub use deepsplit_netlist::library::CellLibrary;
+    pub use deepsplit_serve::{self as serve, ServeConfig};
 }
