@@ -89,7 +89,11 @@ fn embed_unique_images(
     if !use_images {
         return HashMap::new();
     }
-    let keys: Vec<ImageKey> = prepared.images.keys().copied().collect();
+    // Sorted so batch composition (and thus batch-norm-free embedding
+    // order) is identical run to run regardless of HashMap seed.
+    // splint::allow(D1, "keys are sorted on the next line before any use")
+    let mut keys: Vec<ImageKey> = prepared.images.keys().copied().collect();
+    keys.sort_unstable();
     let chunk = 8usize;
     let batches: Vec<&[ImageKey]> = keys.chunks(chunk).collect();
     let results = parallel_map(&batches, threads, |batch| {

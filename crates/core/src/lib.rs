@@ -61,6 +61,7 @@ pub mod image_features;
 pub mod model;
 pub mod recover;
 pub mod store;
+pub mod sync;
 pub mod train;
 pub mod vector_features;
 
@@ -74,5 +75,6 @@ pub use fingerprint::{CorpusFingerprint, StableHasher};
 pub use model::{AttackModel, LossKind, ModelKind};
 pub use recover::{functional_recovery, reconstruct};
 pub use store::{DiskModelStore, MemoryModelStore, ModelStore, RemoteModelStore, StoreCounters};
+pub use sync::{lock_or_recover, read_or_recover, write_or_recover};
 pub use train::{train, train_or_load, TrainReport, TrainedAttack};
 pub use vector_features::{Normalizer, VECTOR_DIM};

@@ -23,6 +23,7 @@
 
 use crate::fingerprint::CorpusFingerprint;
 use crate::httpc;
+use crate::sync::lock_or_recover;
 use crate::train::TrainedAttack;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -157,7 +158,7 @@ impl MemoryModelStore {
 
     /// Number of models currently held.
     pub fn len(&self) -> usize {
-        self.models.lock().expect("store poisoned").len()
+        lock_or_recover(&self.models).len()
     }
 
     /// Whether the store holds no models.
@@ -168,21 +169,13 @@ impl MemoryModelStore {
 
 impl ModelStore for MemoryModelStore {
     fn load(&self, key: &CorpusFingerprint) -> Option<TrainedAttack> {
-        let found = self
-            .models
-            .lock()
-            .expect("store poisoned")
-            .get(key)
-            .cloned();
+        let found = lock_or_recover(&self.models).get(key).cloned();
         self.counters.record(found.is_some());
         found
     }
 
     fn save(&self, key: &CorpusFingerprint, model: &TrainedAttack) {
-        self.models
-            .lock()
-            .expect("store poisoned")
-            .insert(*key, model.clone());
+        lock_or_recover(&self.models).insert(*key, model.clone());
         self.counters.saves.fetch_add(1, Ordering::Relaxed);
     }
 

@@ -109,6 +109,14 @@ impl AttackRequest {
                 self.benchmark
             ));
         }
+        // A NaN/zero/negative/huge scale parses fine but panics (or OOMs)
+        // deep inside placement — reject it at the boundary instead.
+        if !self.eval.scale.is_finite() || !(0.01..=100.0).contains(&self.eval.scale) {
+            return Err(format!(
+                "eval scale {} outside [0.01, 100]",
+                self.eval.scale
+            ));
+        }
         Ok(())
     }
 

@@ -39,6 +39,12 @@ pub enum EngineError {
         /// The underlying serde error.
         source: serde_json::Error,
     },
+    /// A cell referenced a corpus fingerprint phase 1 never resolved — a
+    /// driver bug, surfaced as an error instead of a worker panic.
+    MissingModel {
+        /// Matrix index of the affected cell.
+        cell: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -53,6 +59,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Serialize { what, source } => {
                 write!(f, "serialise {what}: {source}")
             }
+            EngineError::MissingModel { cell } => {
+                write!(
+                    f,
+                    "cell {cell}: no resolved model for its corpus fingerprint"
+                )
+            }
         }
     }
 }
@@ -63,6 +75,7 @@ impl std::error::Error for EngineError {
             EngineError::CreateArtifactsDir { source, .. }
             | EngineError::WriteArtifact { source, .. } => Some(source),
             EngineError::Serialize { source, .. } => Some(source),
+            EngineError::MissingModel { .. } => None,
         }
     }
 }

@@ -235,22 +235,23 @@ pub fn run(config: &EngineConfig, store: &dyn ModelStore) -> Result<MatrixRun, E
         bases
             .iter()
             .find(|b| b.benchmark == bench)
+            // splint::allow(P1, "bases are built from exactly the benchmarks of `pending` above; a miss is a driver bug that must abort the sweep")
             .expect("base built for every pending benchmark")
     };
 
     // Phase 1: resolve one model per unique corpus fingerprint.
     let mut fps: Vec<CorpusFingerprint> = Vec::with_capacity(pending.len());
-    let mut unique: Vec<(CorpusFingerprint, usize)> = Vec::new();
-    for (pi, (_, cell)) in pending.iter().enumerate() {
+    let mut unique: Vec<(CorpusFingerprint, Cell)> = Vec::new();
+    for (_, cell) in &pending {
         let fp = corpus_fingerprint(cell.0, cell.1, &cell.2, &train_eval);
-        if !unique.iter().any(|&(seen, _)| seen == fp) {
-            unique.push((fp, pi));
+        if !unique.iter().any(|(seen, _)| *seen == fp) {
+            unique.push((fp, cell.clone()));
         }
         fps.push(fp);
     }
     let resolved: Vec<(CorpusFingerprint, TrainedAttack, Option<usize>)> =
-        parallel_map(&unique, threads.min(unique.len().max(1)), |&(fp, pi)| {
-            let cell = &pending[pi].1;
+        parallel_map(&unique, threads.min(unique.len().max(1)), |(fp, cell)| {
+            let fp = *fp;
             let base = base_of(cell.0);
             let (model, report) = train::train_or_load(&fp, store, &train_eval.attack, || {
                 defended_corpus(base, cell.1, &cell.2, &train_eval)
@@ -275,14 +276,10 @@ pub fn run(config: &EngineConfig, store: &dyn ModelStore) -> Result<MatrixRun, E
     let fresh: Vec<Result<CellResult, EngineError>> =
         parallel_map(&jobs, plan.outer, |(index, cell, fp)| {
             let base = base_of(cell.0);
-            let outcome = attack_cell(
-                base,
-                cell.1,
-                &cell.2,
-                &config.sweep.eval,
-                &models[fp],
-                plan.inner,
-            );
+            let model = models
+                .get(fp)
+                .ok_or(EngineError::MissingModel { cell: *index })?;
+            let outcome = attack_cell(base, cell.1, &cell.2, &config.sweep.eval, model, plan.inner);
             if let Some(dir) = &config.artifacts_dir {
                 artifacts::write_artifact(dir, *index, cells_total, protocol, &outcome)?;
             }
@@ -320,6 +317,7 @@ pub fn run(config: &EngineConfig, store: &dyn ModelStore) -> Result<MatrixRun, E
 pub fn sweep(config: &SweepConfig) -> Vec<EvalOutcome> {
     let store = MemoryModelStore::new();
     run(&EngineConfig::new(config.clone()), &store)
+        // splint::allow(P1, "an in-memory sweep writes no artifacts, so the only run() error sources cannot fire")
         .expect("in-memory sweep writes no artifacts, so it cannot fail on I/O")
         .outcomes()
 }

@@ -31,7 +31,7 @@ use deepsplit_layout::split::{FragId, SplitView};
 use deepsplit_netlist::library::CellLibrary;
 use deepsplit_netlist::netlist::Netlist;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
 /// Configuration of the network-flow attack.
@@ -104,8 +104,11 @@ pub fn network_flow_attack(
         })
         .collect();
 
-    // Remaining driver budget per source fragment, centi-fF.
-    let mut budget: HashMap<FragId, i64> = view
+    // Remaining driver budget per source fragment, centi-fF. Ordered map:
+    // its key order becomes the MCMF node order, and equal-cost augmenting
+    // paths tie-break by node id — a HashMap here makes `flow_ccr` differ
+    // across processes for the same inputs.
+    let mut budget: BTreeMap<FragId, i64> = view
         .sources
         .iter()
         .map(|&src| {

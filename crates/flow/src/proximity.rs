@@ -10,7 +10,7 @@
 use crate::metrics::Assignment;
 use deepsplit_layout::geom::Point;
 use deepsplit_layout::split::{FragId, SplitView};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A uniform-grid spatial index over labelled points.
 #[derive(Debug, Clone)]
@@ -58,7 +58,7 @@ impl SpatialGrid {
             return Vec::new();
         }
         let (cx, cy) = (q.x.div_euclid(self.cell), q.y.div_euclid(self.cell));
-        let mut best: Vec<(i64, u32)> = Vec::new(); // (dist, label)
+        let mut found: Vec<(i64, u32)> = Vec::new(); // (dist, label)
         let mut ring = 0i64;
         loop {
             // Scan the cells of this ring.
@@ -71,7 +71,7 @@ impl SpatialGrid {
                     if let Some(bucket) = self.buckets.get(&(cx + dx, cy + dy)) {
                         scanned_any = true;
                         for &(p, id) in bucket {
-                            best.push((q.manhattan(p), id));
+                            found.push((q.manhattan(p), id));
                         }
                     }
                     if dy == 0 {
@@ -82,9 +82,9 @@ impl SpatialGrid {
             let _ = scanned_any;
             // Stop once the kth best cannot be beaten by farther rings: any
             // point in ring r is at Manhattan distance ≥ (r-1) * cell.
-            if best.len() >= k {
-                best.sort_unstable();
-                let kth = best[k - 1].0;
+            if found.len() >= k {
+                found.sort_unstable();
+                let kth = found[k - 1].0;
                 if (ring - 1).max(0) * self.cell > kth {
                     break;
                 }
@@ -95,9 +95,9 @@ impl SpatialGrid {
                 break;
             }
         }
-        best.sort_unstable();
-        best.truncate(k);
-        best.into_iter().map(|(d, id)| (id, d)).collect()
+        found.sort_unstable();
+        found.truncate(k);
+        found.into_iter().map(|(d, id)| (id, d)).collect()
     }
 
     /// The nearest point to `q`, as `(label, distance)`.
@@ -109,6 +109,7 @@ impl SpatialGrid {
     fn span(&self) -> i64 {
         let mut lo = (i64::MAX, i64::MAX);
         let mut hi = (i64::MIN, i64::MIN);
+        // splint::allow(D1, "min/max fold over bucket coordinates is order-independent")
         for &(bx, by) in self.buckets.keys() {
             lo = (lo.0.min(bx), lo.1.min(by));
             hi = (hi.0.max(bx), hi.1.max(by));
@@ -163,7 +164,7 @@ pub fn candidate_sources(view: &SplitView, k: usize) -> HashMap<FragId, Vec<(Fra
     let mut out = HashMap::new();
     for &sink in &view.sinks {
         let frag = view.fragment(sink);
-        let mut best_per_source: HashMap<u32, i64> = HashMap::new();
+        let mut best_per_source: BTreeMap<u32, i64> = BTreeMap::new();
         for &vp in &frag.virtual_pins {
             for (label, d) in index.k_nearest(vp, k) {
                 best_per_source

@@ -1,0 +1,187 @@
+//! `splint` CLI — scan the workspace, print diagnostics, write the JSON
+//! report, and ratchet against the committed baseline.
+//!
+//! ```text
+//! splint [--root DIR] [--json PATH] [--baseline PATH]
+//!        [--deny-new] [--write-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (or not denying), 1 new findings under `--deny-new`,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use deepsplit_lint::{analyze_workspace, ratchet, Baseline};
+
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    baseline: PathBuf,
+    deny_new: bool,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: None,
+        baseline: PathBuf::from("ci/splint-baseline.json"),
+        deny_new: false,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = args
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--root needs a path")?
+            }
+            "--json" => {
+                opts.json = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .ok_or("--json needs a path")?,
+                )
+            }
+            "--baseline" => {
+                opts.baseline = args
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--baseline needs a path")?
+            }
+            "--deny-new" => opts.deny_new = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: splint [--root DIR] [--json PATH] [--baseline PATH] \
+                            [--deny-new] [--write-baseline] [--list-rules]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+const RULES: &[(&str, &str)] = &[
+    ("D1", "no HashMap/HashSet iteration feeding serialized artifacts, fingerprints, or --json output"),
+    ("D2", "no SystemTime::now/Instant::now/thread-id in content-addressed or artifact-hash paths"),
+    ("P1", "no unwrap/expect/panic!/slice-indexing in serve worker request paths and engine worker closures"),
+    ("L1", "lock-acquisition audit: no order cycles, no locks held across network/disk I/O"),
+    ("A0", "every splint::allow must name a known rule and carry a reason string"),
+];
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for (id, desc) in RULES {
+            println!("{id}  {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match analyze_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("splint: failed to scan {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "splint: {} finding(s) across {} file(s); {} lock edge(s) observed",
+        report.findings.len(),
+        report.files_scanned,
+        report.lock_edges.len()
+    );
+
+    if let Some(json_path) = &opts.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(json_path, text + "\n") {
+                    eprintln!("splint: cannot write {}: {e}", json_path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("splint: cannot serialise report: {e:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let baseline_path = opts.root.join(&opts.baseline);
+    if opts.write_baseline {
+        let baseline = Baseline::from_report(&report);
+        match serde_json::to_string_pretty(&baseline) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&baseline_path, text + "\n") {
+                    eprintln!("splint: cannot write {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+                println!("splint: baseline written to {}", baseline_path.display());
+            }
+            Err(e) => {
+                eprintln!("splint: cannot serialise baseline: {e:?}");
+                return ExitCode::from(2);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.deny_new {
+        let baseline = match load_baseline(&baseline_path) {
+            Ok(b) => b,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+        };
+        let diff = ratchet(&report, &baseline);
+        for d in &diff.improvements {
+            println!(
+                "splint: ratchetable: {} [{}] {} -> {} (tighten with --write-baseline)",
+                d.file, d.rule, d.baseline, d.current
+            );
+        }
+        if !diff.is_clean() {
+            for d in &diff.regressions {
+                eprintln!(
+                    "splint: NEW findings: {} [{}] baseline {} -> now {}",
+                    d.file, d.rule, d.baseline, d.current
+                );
+            }
+            eprintln!(
+                "splint: fix the new findings or annotate with splint::allow(<rule>, \"<reason>\")"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("splint: no new findings vs {}", baseline_path.display());
+    }
+
+    ExitCode::SUCCESS
+}
+
+fn load_baseline(path: &std::path::Path) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("splint: cannot read baseline {}: {e}", path.display()))?;
+    serde_json::from_str(&text)
+        .map_err(|e| format!("splint: malformed baseline {}: {e:?}", path.display()))
+}

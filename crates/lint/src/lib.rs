@@ -1,0 +1,144 @@
+//! `splint` — a repo-specific determinism & panic-safety analyzer.
+//!
+//! Four rules over the deepsplit workspace (see `README.md` → "Static
+//! analysis" for the catalog):
+//!
+//! * **D1** — no `HashMap`/`HashSet` iteration feeding serialized artifacts,
+//!   fingerprints, or `--json` output.
+//! * **D2** — no `SystemTime::now`/`Instant::now`/thread-id in
+//!   content-addressed or artifact-hash paths.
+//! * **P1** — no `unwrap`/`expect`/`panic!`/slice-indexing inside serve
+//!   worker request paths and engine worker closures.
+//! * **L1** — lock-acquisition-order audit: no cycles, no locks held
+//!   across network/disk I/O.
+//!
+//! Suppression: `// splint::allow(<rule>, "<reason>")` on (or immediately
+//! above) the offending line; a missing reason is itself a finding (A0).
+//! CI runs `splint --deny-new` against `ci/splint-baseline.json`, so
+//! findings can only ratchet down.
+
+pub mod lexer;
+pub mod locks;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::{ratchet, Baseline, Finding, LockEdge, RatchetDiff, Report};
+
+/// Analyzes a set of in-memory `(path, source)` files — the unit the CLI,
+/// the fixture tests, and the self-scan all share. Paths must be
+/// workspace-relative with forward slashes.
+pub fn analyze(files: &[(String, String)]) -> Report {
+    // Pass A: unordered-map bindings are collected workspace-wide, so a
+    // HashMap declared in one file and iterated in another still trips D1.
+    let mut unordered: BTreeSet<String> = BTreeSet::new();
+    let lexed: Vec<(&str, lexer::LexedFile)> = files
+        .iter()
+        .map(|(path, source)| (path.as_str(), lexer::lex(source)))
+        .collect();
+    for (_, file) in &lexed {
+        rules::collect_unordered_idents(file, &mut unordered);
+    }
+
+    // Pass B: per-file rule scopes.
+    let mut findings = Vec::new();
+    let mut edges = Vec::new();
+    for (path, file) in &lexed {
+        findings.extend(rules::check_allows(path, file));
+        if rules::scope::d1(path) {
+            findings.extend(rules::check_d1(path, file, &unordered));
+        }
+        if rules::scope::d2(path) {
+            findings.extend(rules::check_d2(path, file));
+        }
+        if rules::scope::p1(path) {
+            findings.extend(rules::check_p1(path, file));
+        }
+        if rules::scope::l1(path) {
+            let audit = locks::audit(path, file);
+            findings.extend(audit.findings);
+            edges.extend(audit.edges);
+        }
+    }
+    Report::new(findings, edges, files.len())
+}
+
+/// Walks `root` for first-party `.rs` sources and analyzes them. Skips
+/// `target/`, `.git/`, the compat shims, and test/bench trees (unit tests
+/// inside `src/` are skipped by the lexer's `#[cfg(test)]` marking).
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let mut paths = Vec::new();
+    collect_sources(root, root, &mut paths)?;
+    paths.sort();
+    for path in paths {
+        let source = fs::read_to_string(root.join(&path))?;
+        files.push((path, source));
+    }
+    Ok(analyze(&files))
+}
+
+fn collect_sources(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "target" | ".git" | "tests" | "benches" | "compat" | "fixtures"
+            ) {
+                continue;
+            }
+            collect_sources(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(relative_slash_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_file_unordered_bindings_trip_d1() {
+        let files = vec![
+            (
+                "crates/flow/src/types.rs".to_string(),
+                "pub struct Plan { pub budget: HashMap<u32, i64> }\n".to_string(),
+            ),
+            (
+                "crates/flow/src/attack.rs".to_string(),
+                "fn ids(p: &Plan) -> Vec<u32> { p.budget.keys().copied().collect() }\n".to_string(),
+            ),
+        ];
+        let report = analyze(&files);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "D1");
+        assert_eq!(report.findings[0].file, "crates/flow/src/attack.rs");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_quiet() {
+        let files = vec![(
+            "crates/nn/src/train.rs".to_string(),
+            "fn f() { let x = opt.unwrap(); }\n".to_string(),
+        )];
+        assert!(analyze(&files).findings.is_empty());
+    }
+}

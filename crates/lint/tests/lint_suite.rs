@@ -1,0 +1,256 @@
+//! Fixture tests for every splint rule: a true positive, a true negative,
+//! and an allow-annotation case per rule, driven through the public
+//! [`deepsplit_lint::analyze`] entry point with workspace-shaped fake paths.
+
+use deepsplit_lint::{analyze, ratchet, Baseline, Report};
+
+fn single(path: &str, source: &str) -> Report {
+    analyze(&[(path.to_string(), source.to_string())])
+}
+
+fn rules_of(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_true_positive_hashmap_keys_in_scope() {
+    let report = single(
+        "crates/engine/src/fake.rs",
+        "fn f() {\n    let scores: HashMap<u32, f64> = HashMap::new();\n    let ks: Vec<u32> = scores.keys().copied().collect();\n}\n",
+    );
+    assert_eq!(rules_of(&report), vec!["D1"]);
+    assert_eq!(report.findings[0].line, 3);
+}
+
+#[test]
+fn d1_true_negative_btreemap_and_lookups() {
+    let report = single(
+        "crates/engine/src/fake.rs",
+        "fn f() {\n    let scores: BTreeMap<u32, f64> = BTreeMap::new();\n    let ks: Vec<u32> = scores.keys().copied().collect();\n    let other: HashMap<u32, f64> = HashMap::new();\n    let hit = other.get(&1);\n}\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn d1_out_of_scope_file_is_ignored() {
+    let report = single(
+        "crates/layout/src/fake.rs",
+        "fn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n    for k in m.keys() {}\n}\n",
+    );
+    assert!(report.findings.is_empty());
+}
+
+#[test]
+fn d1_allow_with_reason_suppresses() {
+    let report = single(
+        "crates/engine/src/fake.rs",
+        "fn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n    // splint::allow(D1, \"sum is order-independent\")\n    let s: u32 = m.values().sum();\n}\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_true_positive_wall_clock_in_fingerprint_path() {
+    let report = single(
+        "crates/core/src/fingerprint.rs",
+        "fn f() {\n    let t = SystemTime::now();\n}\n",
+    );
+    assert_eq!(rules_of(&report), vec!["D2"]);
+}
+
+#[test]
+fn d2_true_negative_clock_in_metrics() {
+    // serve::metrics is timing code — deliberately out of D2 scope (and the
+    // P1 scan has nothing to flag here).
+    let report = single(
+        "crates/serve/src/metrics.rs",
+        "fn f() {\n    let t = Instant::now();\n}\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn d2_allow_with_reason_suppresses() {
+    let report = single(
+        "crates/engine/src/artifacts.rs",
+        "fn f() {\n    let t = SystemTime::now(); // splint::allow(D2, \"informational wall-clock stamp, not hashed\")\n}\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+// ---------------------------------------------------------------- P1
+
+#[test]
+fn p1_true_positive_unwrap_expect_index_in_serve() {
+    let report = single(
+        "crates/serve/src/fake.rs",
+        "fn f(xs: &[u32], o: Option<u32>) {\n    let a = o.unwrap();\n    let b = o.expect(\"present\");\n    let c = xs[0];\n    panic!(\"boom\");\n}\n",
+    );
+    assert_eq!(rules_of(&report), vec!["P1", "P1", "P1", "P1"]);
+}
+
+#[test]
+fn p1_true_negative_fallbacks_and_types() {
+    let report = single(
+        "crates/serve/src/fake.rs",
+        "fn f(xs: &[u32], o: Option<u32>) {\n    let a = o.unwrap_or(0);\n    let b = o.unwrap_or_else(|| 1);\n    let c = xs.get(0);\n    let t: [u8; 4] = [0; 4];\n    let v = vec![1, 2];\n}\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn p1_test_modules_are_exempt() {
+    let report = single(
+        "crates/serve/src/fake.rs",
+        "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let x = Some(1).unwrap();\n    }\n}\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn p1_allow_with_reason_suppresses_but_bare_allow_is_a0() {
+    let with_reason = single(
+        "crates/serve/src/fake.rs",
+        "fn f(o: Option<u32>) {\n    let a = o.unwrap(); // splint::allow(P1, \"checked is_some two lines up\")\n}\n",
+    );
+    assert!(
+        with_reason.findings.is_empty(),
+        "{:?}",
+        with_reason.findings
+    );
+
+    let bare = single(
+        "crates/serve/src/fake.rs",
+        "fn f(o: Option<u32>) {\n    let a = o.unwrap(); // splint::allow(P1)\n}\n",
+    );
+    // The suppression is rejected AND flagged: the P1 survives and the
+    // reasonless annotation adds an A0.
+    let mut rules = rules_of(&bare);
+    rules.sort_unstable();
+    assert_eq!(rules, vec!["A0", "P1"]);
+}
+
+// ---------------------------------------------------------------- L1
+
+#[test]
+fn l1_true_positive_io_under_lock() {
+    let report = single(
+        "crates/serve/src/fake.rs",
+        "fn f(&self) {\n    let g = self.state.lock().unwrap_or_else(|e| e.into_inner());\n    std::fs::write(&path, &bytes).ok();\n}\n",
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "L1" && f.message.contains("I/O")),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn l1_true_positive_lock_order_cycle() {
+    let report = single(
+        "crates/serve/src/fake.rs",
+        "fn f(&self) {\n    let a = lock_or_recover(&self.x);\n    let b = lock_or_recover(&self.y);\n}\nfn g(&self) {\n    let b = lock_or_recover(&self.y);\n    let a = lock_or_recover(&self.x);\n}\n",
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "L1" && f.message.contains("cycle")),
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.lock_edges.len(), 2, "both orders observed");
+}
+
+#[test]
+fn l1_true_negative_guard_dropped_before_io() {
+    let report = single(
+        "crates/serve/src/fake.rs",
+        "fn f(&self) {\n    let g = lock_or_recover(&self.state);\n    drop(g);\n    std::fs::write(&path, &bytes).ok();\n}\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn l1_consistent_order_yields_edges_but_no_finding() {
+    let report = single(
+        "crates/serve/src/fake.rs",
+        "fn f(&self) {\n    let a = lock_or_recover(&self.x);\n    let b = lock_or_recover(&self.y);\n}\nfn g(&self) {\n    let a = lock_or_recover(&self.x);\n    let b = lock_or_recover(&self.y);\n}\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(!report.lock_edges.is_empty());
+}
+
+// ---------------------------------------------------------------- A0
+
+#[test]
+fn a0_unknown_rule_is_flagged() {
+    let report = single(
+        "crates/layout/src/fake.rs",
+        "fn f() {} // splint::allow(Q7, \"no such rule\")\n",
+    );
+    assert_eq!(rules_of(&report), vec!["A0"]);
+}
+
+// ---------------------------------------------------------------- ratchet
+
+#[test]
+fn ratchet_end_to_end() {
+    let dirty = single(
+        "crates/serve/src/fake.rs",
+        "fn f(o: Option<u32>) {\n    let a = o.unwrap();\n    let b = o.unwrap();\n}\n",
+    );
+    let baseline = Baseline::from_report(&dirty);
+
+    // Unchanged code: clean against its own baseline.
+    assert!(ratchet(&dirty, &baseline).is_clean());
+
+    // One more unwrap: the ratchet fails.
+    let worse = single(
+        "crates/serve/src/fake.rs",
+        "fn f(o: Option<u32>) {\n    let a = o.unwrap();\n    let b = o.unwrap();\n    let c = o.unwrap();\n}\n",
+    );
+    assert!(!ratchet(&worse, &baseline).is_clean());
+
+    // One fixed: clean, and reported as ratchetable.
+    let better = single(
+        "crates/serve/src/fake.rs",
+        "fn f(o: Option<u32>) {\n    let a = o.unwrap();\n}\n",
+    );
+    let diff = ratchet(&better, &baseline);
+    assert!(diff.is_clean());
+    assert_eq!(diff.improvements.len(), 1);
+
+    // The baseline itself round-trips through JSON.
+    let text = serde_json::to_string_pretty(&baseline).expect("serialise baseline");
+    let back: Baseline = serde_json::from_str(&text).expect("parse baseline");
+    assert_eq!(back.entries, baseline.entries);
+}
+
+// ---------------------------------------------------------------- self-scan
+
+#[test]
+fn workspace_is_clean_against_the_committed_baseline() {
+    // The repo root, from the crate's tests directory.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = deepsplit_lint::analyze_workspace(&root).expect("workspace scan");
+    let baseline_text =
+        std::fs::read_to_string(root.join("ci/splint-baseline.json")).expect("committed baseline");
+    let baseline: Baseline = serde_json::from_str(&baseline_text).expect("parse baseline");
+    let diff = ratchet(&report, &baseline);
+    assert!(
+        diff.is_clean(),
+        "new findings vs ci/splint-baseline.json: {:#?}",
+        diff.regressions
+    );
+}

@@ -279,6 +279,7 @@ pub fn serve(addr: &str, threads: usize, handler: Arc<Handler>) -> std::io::Resu
 
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Handler) {
     loop {
+        // splint::allow(L1, "guard is a match-scrutinee temporary: the lock spans only the channel recv and is released at the end of this statement, before any socket I/O")
         let stream = match rx.lock() {
             Ok(guard) => guard.recv(),
             Err(_) => return,

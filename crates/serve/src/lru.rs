@@ -8,6 +8,7 @@
 //! least-recent use.
 
 use deepsplit_core::fingerprint::CorpusFingerprint;
+use deepsplit_core::sync::lock_or_recover;
 use deepsplit_core::train::TrainedAttack;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -65,9 +66,9 @@ impl ModelLru {
 
     /// The cached model under `key`, promoted to most-recently-used.
     pub fn get(&self, key: &CorpusFingerprint) -> Option<Arc<TrainedAttack>> {
-        let mut state = self.state.lock().expect("lru poisoned");
-        let found = state.entries.iter().position(|(k, _)| k == key).map(|i| {
-            let entry = state.entries.remove(i).expect("position just found");
+        let mut state = lock_or_recover(&self.state);
+        let position = state.entries.iter().position(|(k, _)| k == key);
+        let found = position.and_then(|i| state.entries.remove(i)).map(|entry| {
             let model = Arc::clone(&entry.1);
             state.entries.push_front(entry);
             model
@@ -87,7 +88,7 @@ impl ModelLru {
     /// makes the insert a no-op, so a deserialization of the replaced blob
     /// can never outlive it in this cache.
     pub fn generation(&self) -> u64 {
-        self.state.lock().expect("lru poisoned").generation
+        lock_or_recover(&self.state).generation
     }
 
     /// Inserts (or refreshes) `model` under `key`, evicting the least
@@ -107,7 +108,7 @@ impl ModelLru {
         if self.capacity == 0 {
             return;
         }
-        let mut state = self.state.lock().expect("lru poisoned");
+        let mut state = lock_or_recover(&self.state);
         if let Some(observed) = observed {
             if state.generation != observed {
                 return;
@@ -127,7 +128,7 @@ impl ModelLru {
     /// used when a `PUT /models` overwrites a blob so a cached (or
     /// concurrently in-flight) deserialization cannot go stale.
     pub fn invalidate(&self, key: &CorpusFingerprint) {
-        let mut state = self.state.lock().expect("lru poisoned");
+        let mut state = lock_or_recover(&self.state);
         state.generation += 1;
         if let Some(i) = state.entries.iter().position(|(k, _)| k == key) {
             state.entries.remove(i);
@@ -140,7 +141,7 @@ impl ModelLru {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            len: self.state.lock().expect("lru poisoned").entries.len(),
+            len: lock_or_recover(&self.state).entries.len(),
             capacity: self.capacity,
         }
     }

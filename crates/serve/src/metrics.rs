@@ -8,6 +8,7 @@
 
 use crate::lru::LruCounters;
 use deepsplit_core::store::StoreCounters;
+use deepsplit_core::sync::lock_or_recover;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -97,7 +98,7 @@ impl Metrics {
         if status >= 400 && !expected_miss {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let mut reservoir = self.latency_us.lock().expect("metrics poisoned");
+        let mut reservoir = lock_or_recover(&self.latency_us);
         if reservoir.len() == LATENCY_SAMPLES {
             reservoir.pop_front();
         }
@@ -119,7 +120,7 @@ impl Metrics {
     /// A coherent snapshot, folding in the store and LRU counters.
     pub fn snapshot(&self, store: StoreCounters, lru: LruCounters) -> MetricsSnapshot {
         let latency = {
-            let reservoir = self.latency_us.lock().expect("metrics poisoned");
+            let reservoir = lock_or_recover(&self.latency_us);
             let mut sorted: Vec<u64> = reservoir.iter().copied().collect();
             sorted.sort_unstable();
             LatencySnapshot {
@@ -164,7 +165,7 @@ pub fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
         return 0.0;
     }
     let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
-    sorted_us[rank - 1] as f64 / 1000.0
+    sorted_us.get(rank - 1).copied().unwrap_or(0) as f64 / 1000.0
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ use deepsplit_core::attack::attack_ranked;
 use deepsplit_core::dataset::PreparedDesign;
 use deepsplit_core::fingerprint::{CorpusFingerprint, StableHasher};
 use deepsplit_core::store::ModelStore;
+use deepsplit_core::sync::lock_or_recover;
 use deepsplit_core::train::{train_or_load, TrainedAttack};
 use deepsplit_defense::eval::{defended_corpus, EvalBase, EvalConfig};
 use deepsplit_defense::service::{
@@ -32,7 +33,7 @@ use deepsplit_flow::metrics::ccr;
 use deepsplit_flow::proximity::proximity_attack;
 use deepsplit_netlist::benchmarks::Benchmark;
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Server configuration.
@@ -72,21 +73,24 @@ impl Inflight {
     /// Tries to become the leader for `fp`; `false` means someone else is
     /// already resolving it.
     fn try_lead(&self, fp: CorpusFingerprint) -> bool {
-        self.resolving.lock().expect("inflight poisoned").insert(fp)
+        lock_or_recover(&self.resolving).insert(fp)
     }
 
     /// Blocks until no resolution for `fp` is in flight.
     fn wait(&self, fp: &CorpusFingerprint) {
-        let mut resolving = self.resolving.lock().expect("inflight poisoned");
+        let mut resolving = lock_or_recover(&self.resolving);
         while resolving.contains(fp) {
-            resolving = self.done.wait(resolving).expect("inflight poisoned");
+            resolving = self
+                .done
+                .wait(resolving)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Ends `fp`'s resolution and wakes every waiter. Called from a drop
     /// guard so a panicking leader cannot strand its followers.
     fn finish(&self, fp: &CorpusFingerprint) {
-        self.resolving.lock().expect("inflight poisoned").remove(fp);
+        lock_or_recover(&self.resolving).remove(fp);
         self.done.notify_all();
     }
 }
@@ -173,7 +177,7 @@ impl AttackServer {
             ("GET", "/metrics") => (Endpoint::Other, self.handle_metrics()),
             ("POST", "/attack") => (Endpoint::Attack, self.handle_attack(req)),
             (method, path) if path.starts_with("/models/") => {
-                let hex = &path["/models/".len()..];
+                let hex = path.strip_prefix("/models/").unwrap_or(path);
                 match (method, CorpusFingerprint::from_hex(hex)) {
                     (_, None) => (
                         Endpoint::Other,
@@ -237,7 +241,12 @@ impl AttackServer {
         if let Err(problem) = spec.validate() {
             return Response::error(400, problem);
         }
-        let response = self.evaluate(&spec);
+        // `validate` guarantees the benchmark resolves, but the request
+        // path never banks on that with a panic.
+        let Some(victim_bench) = spec.victim() else {
+            return Response::error(400, format!("unknown benchmark `{}`", spec.benchmark));
+        };
+        let response = self.evaluate(&spec, victim_bench);
         match serde_json::to_string_pretty(&response) {
             Ok(json) => Response::json(200, json),
             Err(e) => Response::error(500, format!("serialise attack response: {e}")),
@@ -245,8 +254,7 @@ impl AttackServer {
     }
 
     /// The full evaluation pipeline of one validated request.
-    fn evaluate(&self, spec: &AttackRequest) -> AttackResponse {
-        let victim_bench = spec.victim().expect("validated benchmark");
+    fn evaluate(&self, spec: &AttackRequest, victim_bench: Benchmark) -> AttackResponse {
         let layer = spec.layer();
         let fp = spec.fingerprint();
         let base = self.base_of(victim_bench, &spec.eval);
@@ -349,14 +357,14 @@ impl AttackServer {
     /// protocol, shared across requests.
     fn base_of(&self, bench: Benchmark, eval: &EvalConfig) -> Arc<EvalBase> {
         let key = base_key(bench, eval);
-        if let Some(base) = self.bases.lock().expect("bases poisoned").get(&key) {
+        if let Some(base) = lock_or_recover(&self.bases).get(&key) {
             return Arc::clone(base);
         }
         // Build outside the lock: implementing layouts takes seconds and
         // other benchmarks' requests should not queue behind it. A racing
         // duplicate build is wasted work, not wrong results.
         let built = Arc::new(EvalBase::build(bench, eval));
-        let mut bases = self.bases.lock().expect("bases poisoned");
+        let mut bases = lock_or_recover(&self.bases);
         Arc::clone(bases.entry(key).or_insert(built))
     }
 }
@@ -368,9 +376,9 @@ impl AttackServer {
 fn base_key(bench: Benchmark, eval: &EvalConfig) -> CorpusFingerprint {
     let mut h = StableHasher::new();
     h.write_str(bench.name());
-    h.write_str(
-        &serde_json::to_string(&eval.implement).expect("serialise implement config for base key"),
-    );
+    // splint::allow(P1, "a key that cannot be computed must abort the request (caught as a 500 by handle) rather than mint a wrong content address")
+    let implement = serde_json::to_string(&eval.implement).expect("serialise implement config");
+    h.write_str(&implement);
     h.write_f64(eval.scale);
     h.write_u64(eval.train_seed);
     h.write_u64(eval.victim_seed);

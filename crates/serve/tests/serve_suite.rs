@@ -251,3 +251,83 @@ fn attack_endpoint_refuses_bad_specs() {
     );
     server.shutdown();
 }
+
+/// Writes raw bytes to the server and returns whatever it answers — for
+/// requests malformed enough that no HTTP client will produce them.
+fn raw_roundtrip(addr: std::net::SocketAddr, payload: &[u8]) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(TIMEOUT))
+        .expect("read timeout");
+    stream.write_all(payload).expect("send payload");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+#[test]
+fn malformed_requests_answer_400_and_the_worker_survives() {
+    let server = test_server();
+    let addr = server.addr();
+
+    // No method/path/version at all.
+    let r = raw_roundtrip(addr, b"GARBAGE\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 400"), "got: {r:.60}");
+
+    // A Content-Length that is not a number.
+    let r = raw_roundtrip(
+        addr,
+        b"POST /attack HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+    );
+    assert!(r.starts_with("HTTP/1.1 400"), "got: {r:.60}");
+
+    // A body larger than the server will ever buffer.
+    let r = raw_roundtrip(
+        addr,
+        b"POST /attack HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n",
+    );
+    assert!(r.starts_with("HTTP/1.1 400"), "got: {r:.60}");
+
+    // The workers must have survived all of it.
+    let health = httpc::get(&format!("{}/healthz", server.url()), TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200, "bad requests must not kill workers");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_header_answers_400_not_a_hung_worker() {
+    let server = test_server();
+    // A single 128 KiB header blows the 64 KiB head limit.
+    let mut payload = b"GET /healthz HTTP/1.1\r\nX-Filler: ".to_vec();
+    payload.extend(std::iter::repeat_n(b'a', 128 * 1024));
+    payload.extend_from_slice(b"\r\n\r\n");
+    let r = raw_roundtrip(server.addr(), &payload);
+    assert!(r.starts_with("HTTP/1.1 400"), "got: {r:.60}");
+
+    let health = httpc::get(&format!("{}/healthz", server.url()), TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn out_of_range_eval_scale_is_rejected_at_the_boundary() {
+    let server = test_server();
+    let url = format!("{}/attack", server.url());
+    let mut bad = tiny_request();
+    bad.eval.scale = 0.0;
+    let body = serde_json::to_string(&bad).expect("serialise request");
+    let r = httpc::post(&url, body.as_bytes(), TIMEOUT).expect("POST zero scale");
+    assert_eq!(r.status, 400);
+    assert!(
+        r.body_str().expect("body").contains("scale"),
+        "error must name the offending field"
+    );
+    assert_eq!(
+        metrics_of(&server).models_trained,
+        0,
+        "a degenerate scale must never reach layout or training"
+    );
+    server.shutdown();
+}
