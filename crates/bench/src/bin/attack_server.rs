@@ -17,9 +17,14 @@
 //! curl -s http://HOST:8077/models/<fingerprint>        # model blob
 //! curl -s -X POST http://HOST:8077/attack -d @spec.json
 //!
-//! # Load loop (requests/sec + p50/p99 into BENCH_serve.json):
+//! # Load loop (req/s + p50/p90/p99/p99.9 + the server's own per-endpoint
+//! # histogram percentiles into BENCH_serve.json):
 //! cargo run --release --bin attack_server -- \
 //!     --loadgen http://HOST:8077 --requests 200 --json BENCH_serve.json
+//!
+//! # Server-side tracing: --trace PATH keeps a chrome://tracing file of
+//! # request spans (resolve/coalesce/infer), rewritten every few seconds.
+//! cargo run --release --bin attack_server -- --trace serve-trace.json
 //! ```
 //!
 //! Without `--cache-dir` the store is in-memory: still shared across every
@@ -28,7 +33,7 @@
 use deepsplit_bench::cli::{usize_arg, value_arg};
 use deepsplit_core::httpc;
 use deepsplit_core::store::{DiskModelStore, MemoryModelStore, ModelStore};
-use deepsplit_serve::{start, ServeConfig};
+use deepsplit_serve::{start, EndpointLatencies, MetricsSnapshot, ServeConfig};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -48,10 +53,19 @@ struct ServeBenchReport {
     wall_s: f64,
     /// Successful requests per second.
     requests_per_sec: f64,
-    /// Median request latency in milliseconds.
+    /// Median request latency in milliseconds (client-side, exact).
     p50_ms: f64,
+    /// 90th-percentile request latency in milliseconds.
+    p90_ms: f64,
     /// 99th-percentile request latency in milliseconds.
     p99_ms: f64,
+    /// 99.9th-percentile request latency in milliseconds.
+    p999_ms: f64,
+    /// The server's own per-endpoint latency breakdown, scraped from
+    /// `/metrics` after the loop (`null` when the scrape fails). Server
+    /// percentiles are histogram-bucketed (~3 % error) and cover every
+    /// request the process served, not just this loop's.
+    server_endpoints: Option<EndpointLatencies>,
 }
 
 /// Serial request loop against `base + path`: the single-client floor of the
@@ -81,6 +95,15 @@ fn loadgen(base: &str, path: &str, requests: usize, json_out: Option<String>) {
     }
     let wall = started.elapsed();
     latencies_us.sort_unstable();
+    // The server's own per-endpoint view of the same traffic (plus whatever
+    // else it served) — best-effort: a scrape failure degrades the report,
+    // not the run.
+    let server_endpoints = httpc::get(&format!("{}/metrics", base.trim_end_matches('/')), timeout)
+        .ok()
+        .filter(|r| r.is_success())
+        .and_then(|r| r.body_str().ok().map(str::to_string))
+        .and_then(|body| serde_json::from_str::<MetricsSnapshot>(&body).ok())
+        .map(|m| m.endpoints);
     let report = ServeBenchReport {
         url: base.to_string(),
         path: path.to_string(),
@@ -89,16 +112,21 @@ fn loadgen(base: &str, path: &str, requests: usize, json_out: Option<String>) {
         wall_s: wall.as_secs_f64(),
         requests_per_sec: latencies_us.len() as f64 / wall.as_secs_f64().max(1e-9),
         p50_ms: deepsplit_serve::metrics::percentile_ms(&latencies_us, 0.50),
+        p90_ms: deepsplit_serve::metrics::percentile_ms(&latencies_us, 0.90),
         p99_ms: deepsplit_serve::metrics::percentile_ms(&latencies_us, 0.99),
+        p999_ms: deepsplit_serve::metrics::percentile_ms(&latencies_us, 0.999),
+        server_endpoints,
     };
     eprintln!(
-        "loadgen: {} requests to {} in {:.2}s — {:.0} req/s, p50 {:.2}ms, p99 {:.2}ms, {} failures",
+        "loadgen: {} requests to {} in {:.2}s — {:.0} req/s, p50 {:.2}ms, p90 {:.2}ms, p99 {:.2}ms, p99.9 {:.2}ms, {} failures",
         report.requests,
         report.path,
         report.wall_s,
         report.requests_per_sec,
         report.p50_ms,
+        report.p90_ms,
         report.p99_ms,
+        report.p999_ms,
         report.failures,
     );
     if let Some(path) = json_out {
@@ -142,6 +170,21 @@ fn main() {
             Arc::new(MemoryModelStore::new())
         }
     };
+
+    // `wait()` below never returns, so a traced server exports from a
+    // background thread: the trace file is rewritten in full every few
+    // seconds (the recorder's fill-once buffer makes each rewrite a superset
+    // of the last).
+    if let Some(trace_path) = value_arg(&args, "--trace") {
+        deepsplit_obs::install(deepsplit_obs::DEFAULT_TRACE_CAPACITY);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_secs(5));
+            if let Err(e) = std::fs::write(&trace_path, deepsplit_obs::export_chrome_trace()) {
+                eprintln!("trace export {trace_path}: {e}");
+            }
+        });
+        eprintln!("tracing: chrome trace exported every 5s");
+    }
 
     let server = start(&config, store).expect("bind server address");
     eprintln!(

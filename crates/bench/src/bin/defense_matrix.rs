@@ -25,6 +25,11 @@
 //! # Share one cache across machines via an attack_server (--cache-dir then
 //! # acts as a local write-through cache in front of the remote store):
 //! cargo run --release --bin defense_matrix -- --store-url http://10.0.0.5:8077
+//!
+//! # Observability: per-cell phase timings and a chrome://tracing file.
+//! # Neither changes any gated output — the --json report of a traced run
+//! # is byte-identical to an untraced one.
+//! cargo run --release --bin defense_matrix -- --timings --trace sweep-trace.json
 //! ```
 
 use deepsplit_bench::cli::{list_arg, value_arg};
@@ -152,6 +157,11 @@ fn main() {
     let config = sweep_config(&args);
     let artifacts_dir = value_arg(&args, "--artifacts").map(PathBuf::from);
     let json_path = value_arg(&args, "--json");
+    let trace_path = value_arg(&args, "--trace");
+    if trace_path.is_some() {
+        deepsplit_obs::install(deepsplit_obs::DEFAULT_TRACE_CAPACITY);
+    }
+    let record_timings = args.iter().any(|a| a == "--timings");
 
     // Misconfigurations that would discard hours of sweeping are refused
     // before any work happens, not after.
@@ -198,6 +208,7 @@ fn main() {
         sweep: config,
         artifacts_dir,
         resume,
+        record_timings,
     };
     let config = &engine_config.sweep;
 
@@ -255,6 +266,13 @@ fn main() {
         }
     };
     eprintln!("{}", run.stats.summary());
+    if record_timings {
+        eprint!("{}", run.render_timings());
+    }
+    if let Some(path) = &trace_path {
+        std::fs::write(path, deepsplit_obs::export_chrome_trace()).expect("write trace file");
+        eprintln!("wrote trace {path}");
+    }
 
     if run.is_full() {
         report_full(run.outcomes(), json_path);

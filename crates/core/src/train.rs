@@ -119,6 +119,9 @@ pub fn train(designs: &[PreparedDesign], config: &AttackConfig) -> (TrainedAttac
     };
 
     for epoch in 0..config.epochs {
+        // Telemetry only: the span/event stream never feeds content-addressed
+        // state, and is a no-op unless a binary installed a trace recorder.
+        let _epoch_span = deepsplit_obs::span("train_epoch");
         opt.set_lr(schedule.lr_at(epoch));
         queries.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
@@ -161,9 +164,9 @@ pub fn train(designs: &[PreparedDesign], config: &AttackConfig) -> (TrainedAttac
             epoch_loss += batch_loss;
             steps += count;
         }
-        report
-            .epoch_loss
-            .push((epoch_loss / steps.max(1) as f64) as f32);
+        let mean_loss = (epoch_loss / steps.max(1) as f64) as f32;
+        deepsplit_obs::event("epoch_loss", Some(f64::from(mean_loss)));
+        report.epoch_loss.push(mean_loss);
     }
 
     (

@@ -191,6 +191,10 @@ pub struct AttackResponse {
     pub flow: Option<FlowOutcome>,
     /// Model inference wall-clock in milliseconds (embedding + scoring).
     pub inference_ms: f64,
+    /// Model resolution wall-clock in milliseconds (LRU / store lookup, or
+    /// the full training run on a cold fingerprint — compare against
+    /// `model_cached` to tell which).
+    pub resolve_ms: f64,
     /// Per-sink rankings.
     pub rankings: Vec<SinkRanking>,
 }

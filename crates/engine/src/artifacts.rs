@@ -80,6 +80,28 @@ impl std::error::Error for EngineError {
     }
 }
 
+/// Wall-clock breakdown of one evaluated cell, in milliseconds.
+///
+/// Pure telemetry: timings ride along in artifacts and the `--timings`
+/// table but never enter [`protocol_fingerprint`], corpus fingerprints, or
+/// the `--json` [`MatrixReport`](crate::run::MatrixReport) — a traced or
+/// timed sweep must stay byte-identical to an untimed one on every
+/// content-addressed or regression-gated output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CellTimings {
+    /// Defended-corpus generation, attributed to the first cell per unique
+    /// corpus fingerprint (`0.0` when the model came from the store).
+    pub corpus_ms: f64,
+    /// Training epochs, same attribution (`0.0` on a store hit).
+    pub train_ms: f64,
+    /// Attack evaluation (all three attackers on the defended victim).
+    pub attack_ms: f64,
+    /// Artifact publication. Measured around the atomic write, so it is
+    /// `0.0` inside the artifact itself (which is sealed before its own
+    /// publish completes) and only populated in the `--timings` summary.
+    pub publish_ms: f64,
+}
+
 /// The on-disk form of one completed cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellArtifact {
@@ -93,6 +115,10 @@ pub struct CellArtifact {
     pub protocol: CorpusFingerprint,
     /// The cell's evaluation result.
     pub outcome: EvalOutcome,
+    /// Wall-clock telemetry, when the producing run passed `--timings`.
+    /// Ignored by resume/merge matching — timings are a side channel of the
+    /// determinism contract, never part of a cell's identity.
+    pub timings: Option<CellTimings>,
 }
 
 /// Stable identity of everything a cell's scores depend on *beyond* its
@@ -136,12 +162,14 @@ pub fn write_artifact(
     total: usize,
     protocol: CorpusFingerprint,
     outcome: &EvalOutcome,
+    timings: Option<CellTimings>,
 ) -> Result<(), EngineError> {
     let artifact = CellArtifact {
         index,
         total,
         protocol,
         outcome: outcome.clone(),
+        timings,
     };
     let json =
         serde_json::to_string_pretty(&artifact).map_err(|source| EngineError::Serialize {
@@ -276,7 +304,20 @@ mod tests {
             },
         );
         let out = outcome("c432", 3, DefenseKind::Lift, 1.0);
-        write_artifact(&dir, 1, 2, protocol, &out).expect("write artifact");
+        write_artifact(&dir, 1, 2, protocol, &out, None).expect("write artifact");
+        assert_eq!(
+            load_artifact(&dir, 1, 2, protocol, &cell),
+            Some(out.clone())
+        );
+        // Timings are telemetry, not identity: a timed artifact resumes
+        // exactly like an untimed one.
+        let timed = CellTimings {
+            corpus_ms: 12.5,
+            train_ms: 800.0,
+            attack_ms: 40.0,
+            publish_ms: 0.0,
+        };
+        write_artifact(&dir, 1, 2, protocol, &out, Some(timed)).expect("write timed artifact");
         assert_eq!(load_artifact(&dir, 1, 2, protocol, &cell), Some(out));
         // Wrong matrix size, protocol, layer or defense → not resumable.
         assert_eq!(load_artifact(&dir, 1, 3, protocol, &cell), None);
@@ -337,11 +378,11 @@ mod tests {
         ];
         let protocol = CorpusFingerprint([3, 4]);
         let baseline = outcome("c432", 3, DefenseKind::None, 0.0);
-        write_artifact(&dir, 0, 2, protocol, &baseline).expect("write artifact");
+        write_artifact(&dir, 0, 2, protocol, &baseline, None).expect("write artifact");
         let err = merge_artifacts(&dir, &cells, protocol).unwrap_err();
         assert!(err.contains("[1]"), "must name the missing cell: {err}");
         let lifted = outcome("c432", 3, DefenseKind::Lift, 1.0);
-        write_artifact(&dir, 1, 2, protocol, &lifted).expect("write artifact");
+        write_artifact(&dir, 1, 2, protocol, &lifted, None).expect("write artifact");
         assert_eq!(
             merge_artifacts(&dir, &cells, protocol).unwrap(),
             vec![baseline, lifted]

@@ -46,7 +46,9 @@ pub mod artifacts;
 pub mod pareto;
 pub mod run;
 
-pub use artifacts::{merge_artifacts, protocol_fingerprint, CellArtifact, EngineError};
+pub use artifacts::{
+    merge_artifacts, protocol_fingerprint, CellArtifact, CellTimings, EngineError,
+};
 pub use pareto::{ParetoFront, ParetoGroup, ParetoPoint};
 pub use run::{run, sweep, CellResult, EngineConfig, MatrixReport, MatrixRun, RunStats};
 

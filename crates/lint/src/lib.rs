@@ -5,8 +5,10 @@
 //!
 //! * **D1** — no `HashMap`/`HashSet` iteration feeding serialized artifacts,
 //!   fingerprints, or `--json` output.
-//! * **D2** — no `SystemTime::now`/`Instant::now`/thread-id in
-//!   content-addressed or artifact-hash paths.
+//! * **D2** — no `SystemTime::now`/`Instant::now`/thread-id/`deepsplit_obs`
+//!   trace-telemetry calls in content-addressed or artifact-hash paths
+//!   (spans and timings must never flow into fingerprints, cell keys or
+//!   `--json` artifacts).
 //! * **P1** — no `unwrap`/`expect`/`panic!`/slice-indexing inside serve
 //!   worker request paths and engine worker closures.
 //! * **L1** — lock-acquisition-order audit: no cycles, no locks held

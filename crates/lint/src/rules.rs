@@ -1,6 +1,7 @@
 //! The rule catalog: D1 (unordered-map iteration in deterministic paths),
-//! D2 (wall-clock / thread-id in content-addressed paths), P1 (panics in
-//! worker request paths), and A0 (malformed `splint::allow` annotations).
+//! D2 (wall-clock / thread-id / trace-telemetry in content-addressed paths),
+//! P1 (panics in worker request paths), and A0 (malformed `splint::allow`
+//! annotations).
 //!
 //! All rules run on lexed lines (comments and literal contents already
 //! stripped — see [`crate::lexer`]), skip `#[cfg(test)]` regions, and honor
@@ -239,7 +240,10 @@ fn receiver_ident(before: &str) -> Option<String> {
     (!name.is_empty()).then_some(name)
 }
 
-/// D2: wall-clock or thread-identity reads inside content-addressed paths.
+/// D2: wall-clock, thread-identity or trace-telemetry reads inside
+/// content-addressed paths. Timings and spans are observability data — if a
+/// fingerprint, cell key or `--json` artifact ever incorporated them, the
+/// same sweep would hash differently between runs.
 pub fn check_d2(file: &str, lexed: &LexedFile) -> Vec<Finding> {
     const PATTERNS: &[(&str, &str)] = &[
         (
@@ -254,12 +258,20 @@ pub fn check_d2(file: &str, lexed: &LexedFile) -> Vec<Finding> {
             "thread::current",
             "thread identity in a content-addressed path",
         ),
+        (
+            "deepsplit_obs",
+            "trace telemetry in a content-addressed path",
+        ),
+        ("obs::span", "trace span in a content-addressed path"),
+        ("obs::event", "trace event in a content-addressed path"),
     ];
     let mut out = Vec::new();
     for line in &lexed.lines {
         if line.in_test || allowed(lexed, line.number, "D2") {
             continue;
         }
+        // First match wins: `deepsplit_obs::span(…)` is one finding, not one
+        // per overlapping pattern.
         for (pat, what) in PATTERNS {
             if line.code.contains(pat) {
                 out.push(finding(
@@ -269,6 +281,7 @@ pub fn check_d2(file: &str, lexed: &LexedFile) -> Vec<Finding> {
                     format!("{what} (`{pat}`)"),
                     "derive the value from inputs, or thread it in as an explicit parameter",
                 ));
+                break;
             }
         }
     }
@@ -402,6 +415,20 @@ mod tests {
         let found = check_d2("x.rs", &lex("let t = SystemTime::now();\n"));
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, "D2");
+    }
+
+    #[test]
+    fn d2_flags_obs_call_sites_once_per_line() {
+        // `deepsplit_obs::span` overlaps two patterns — still one finding.
+        let src = "let _s = deepsplit_obs::span(\"resolve\");\n\
+                   obs::event(\"epoch_loss\", Some(loss));\n\
+                   use deepsplit_obs as obs;\n\
+                   let latency_ms = snapshot.p50_ms;\n";
+        let found = check_d2("x.rs", &lex(src));
+        let lines: Vec<usize> = found.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 2, 3], "one finding per obs line: {found:?}");
+        assert!(found[0].message.contains("trace telemetry"));
+        assert!(found[1].message.contains("trace event"));
     }
 
     #[test]

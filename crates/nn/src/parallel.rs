@@ -15,6 +15,9 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
+    // Telemetry only — a no-op two-atomic-load probe unless the binary
+    // installed a trace recorder.
+    let _span = deepsplit_obs::span("parallel_map");
     let threads = threads.min(items.len());
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());

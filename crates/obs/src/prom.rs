@@ -1,0 +1,155 @@
+//! Prometheus text-exposition rendering (version 0.0.4 of the format).
+//!
+//! [`PromWriter`] builds a valid exposition body from counters, gauges, and
+//! [`HistogramSnapshot`]s — `# HELP`/`# TYPE` headers, cumulative `le`
+//! buckets ending in `+Inf`, `_sum` and `_count` series — without pulling in
+//! a client library. The serve crate uses it for
+//! `GET /metrics?format=prometheus`.
+
+use crate::hist::HistogramSnapshot;
+
+/// An append-only Prometheus exposition builder.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    body: String,
+}
+
+impl PromWriter {
+    /// An empty exposition body.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Appends a counter metric (monotonic total).
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.body.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Appends a gauge metric (point-in-time value).
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.body
+            .push_str(&format!("{name} {}\n", fmt_value(value)));
+    }
+
+    /// Appends a histogram metric from a snapshot, scaling each bucket upper
+    /// bound by `scale` (e.g. `1e-6` turns microsecond samples into the
+    /// seconds Prometheus conventions expect). Emits cumulative non-empty
+    /// buckets, a `+Inf` bucket, `_sum`, and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot, scale: f64) {
+        self.header(name, help, "histogram");
+        for (upper, cumulative) in snap.cumulative_buckets() {
+            // The top bucket's bound is u64::MAX — that IS +Inf here.
+            if upper == u64::MAX {
+                continue;
+            }
+            self.body.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                fmt_value(upper as f64 * scale)
+            ));
+        }
+        self.body
+            .push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count()));
+        self.body.push_str(&format!(
+            "{name}_sum {}\n",
+            fmt_value(snap.sum() as f64 * scale)
+        ));
+        self.body
+            .push_str(&format!("{name}_count {}\n", snap.count()));
+    }
+
+    /// The finished exposition body.
+    pub fn finish(self) -> String {
+        self.body
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.body
+            .push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+        self.body.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counters_and_gauges_render_with_headers() {
+        let mut w = PromWriter::new();
+        w.counter("requests_total", "Requests handled.", 42);
+        w.gauge("lru_entries", "Models resident in the LRU.", 3.0);
+        let body = w.finish();
+        assert!(body.contains("# HELP requests_total Requests handled.\n"));
+        assert!(body.contains("# TYPE requests_total counter\n"));
+        assert!(body.contains("requests_total 42\n"));
+        assert!(body.contains("# TYPE lru_entries gauge\n"));
+        assert!(body.contains("lru_entries 3\n"));
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_ends_at_inf() {
+        let h = Histogram::new();
+        for v in [100u64, 200, 200, 5_000] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.histogram("latency_seconds", "Request latency.", &h.snapshot(), 1e-6);
+        let body = w.finish();
+        assert!(body.contains("# TYPE latency_seconds histogram\n"));
+        assert!(body.contains("latency_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(body.contains("latency_seconds_count 4\n"));
+        assert!(body.contains("latency_seconds_sum 0.0055\n"));
+        // Bucket counts never decrease down the page.
+        let mut last = 0u64;
+        for line in body.lines().filter(|l| l.contains("_bucket{")) {
+            let count: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|c| c.parse().ok())
+                .expect("bucket count");
+            assert!(count >= last, "cumulative counts fell: {line}");
+            last = count;
+        }
+        assert_eq!(last, 4);
+    }
+
+    #[test]
+    fn every_line_is_structurally_valid_exposition() {
+        let h = Histogram::new();
+        h.record(1234);
+        let mut w = PromWriter::new();
+        w.counter("a_total", "A.", 1);
+        w.gauge("b", "B with\nnewline.", 0.5);
+        w.histogram("c_seconds", "C.", &h.snapshot(), 1e-6);
+        let body = w.finish();
+        assert!(body.ends_with('\n'), "exposition must end with a newline");
+        for line in body.lines() {
+            let valid = line.starts_with("# HELP ")
+                || line.starts_with("# TYPE ")
+                || line
+                    .split_once(' ')
+                    .map(|(series, value)| !series.is_empty() && value.parse::<f64>().is_ok())
+                    .unwrap_or(false);
+            assert!(valid, "malformed exposition line: {line:?}");
+        }
+        assert!(!body.contains("B with\nnewline"), "help newlines escaped");
+    }
+}

@@ -1,0 +1,418 @@
+//! Spans, events, and Chrome-trace export.
+//!
+//! A [`Recorder`] owns a bounded fill-once trace buffer. Writers claim a slot
+//! with one `fetch_add` and publish the event through a `OnceLock` — no
+//! locks, no blocking; once the buffer is full further events bump a dropped
+//! counter and are otherwise free. Span nesting depth and a stable per-run
+//! thread id live in thread-locals, so concurrently recorded traces still
+//! reconstruct per-thread call stacks.
+//!
+//! Binaries install one global recorder with [`install`] (a no-op to record
+//! against when absent — instrumented library code costs two atomic loads
+//! when tracing is off), and export with [`export_chrome_trace`]. Tests
+//! construct private [`Recorder`]s directly.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Default capacity of the global trace buffer installed by [`install`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (a static string keeps recording allocation-free).
+    pub name: &'static str,
+    /// Stable per-run id of the recording thread (dense from 0).
+    pub tid: u32,
+    /// Span nesting depth on the recording thread (0 = top level).
+    pub depth: u32,
+    /// Microseconds from recorder creation to event start.
+    pub start_us: u64,
+    /// Duration in microseconds; `None` for instant events.
+    pub dur_us: Option<u64>,
+    /// Optional numeric payload (e.g. a training loss), rendered into the
+    /// Chrome-trace `args` object.
+    pub value: Option<f64>,
+}
+
+/// A bounded, lock-free trace recorder.
+///
+/// Every slot is written at most once per run; when all slots are taken
+/// further events are counted in [`Recorder::dropped`] and discarded.
+#[derive(Debug)]
+pub struct Recorder {
+    slots: Vec<OnceLock<TraceEvent>>,
+    head: AtomicUsize,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl Recorder {
+    /// A recorder with room for `capacity` events.
+    pub fn new(capacity: usize) -> Recorder {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, OnceLock::new);
+        Recorder {
+            slots,
+            head: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since this recorder was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records one event; drops it (counted) when the buffer is full.
+    pub fn push(&self, event: TraceEvent) {
+        let index = self.head.fetch_add(1, Ordering::Relaxed);
+        match self.slots.get(index) {
+            Some(slot) => {
+                // The fetch_add hands each writer a unique index, so the
+                // set can only fail if capacity wrapped usize — count it.
+                if slot.set(event).is_err() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// All recorded events in slot order (claim order).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let taken = self.head.load(Ordering::Relaxed).min(self.slots.len());
+        self.slots
+            .iter()
+            .take(taken)
+            .filter_map(|slot| slot.get().cloned())
+            .collect()
+    }
+
+    /// Starts a span on this recorder; the returned guard records a complete
+    /// event (with duration) when dropped.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let depth = THREAD.with(|t| {
+            let d = t.depth.get();
+            t.depth.set(d + 1);
+            d
+        });
+        SpanGuard {
+            recorder: self,
+            name,
+            depth,
+            start_us: self.now_us(),
+        }
+    }
+
+    /// Records an instant event, optionally carrying a numeric value.
+    pub fn event(&self, name: &'static str, value: Option<f64>) {
+        self.push(TraceEvent {
+            name,
+            tid: thread_id(),
+            depth: THREAD.with(|t| t.depth.get()),
+            start_us: self.now_us(),
+            dur_us: None,
+            value,
+        });
+    }
+}
+
+/// An in-flight span on a [`Recorder`]; records itself on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    name: &'static str,
+    depth: u32,
+    start_us: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        THREAD.with(|t| t.depth.set(self.depth));
+        let end = self.recorder.now_us();
+        self.recorder.push(TraceEvent {
+            name: self.name,
+            tid: thread_id(),
+            depth: self.depth,
+            start_us: self.start_us,
+            dur_us: Some(end.saturating_sub(self.start_us)),
+            value: None,
+        });
+    }
+}
+
+struct ThreadState {
+    depth: Cell<u32>,
+    tid: Cell<u32>,
+}
+
+thread_local! {
+    static THREAD: ThreadState = const {
+        ThreadState { depth: Cell::new(0), tid: Cell::new(u32::MAX) }
+    };
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+/// This thread's stable per-run id: dense integers handed out in first-use
+/// order, independent of the OS thread id (so traces diff cleanly).
+pub fn thread_id() -> u32 {
+    THREAD.with(|t| {
+        let current = t.tid.get();
+        if current != u32::MAX {
+            return current;
+        }
+        let assigned = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.tid.set(assigned);
+        assigned
+    })
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// Installs the global recorder (used by [`span`]/[`event`]). The first call
+/// per process wins; later calls are no-ops returning `false`.
+pub fn install(capacity: usize) -> bool {
+    GLOBAL.set(Recorder::new(capacity)).is_ok()
+}
+
+/// The installed global recorder, if any.
+pub fn global() -> Option<&'static Recorder> {
+    GLOBAL.get()
+}
+
+/// Starts a span on the global recorder; `None` (zero-cost) when tracing is
+/// not installed. Bind the result — `let _span = obs::span("phase");` — so
+/// the guard lives for the region being timed.
+pub fn span(name: &'static str) -> Option<SpanGuard<'static>> {
+    GLOBAL.get().map(|r| r.span(name))
+}
+
+/// Records an instant event on the global recorder; a no-op when tracing is
+/// not installed.
+pub fn event(name: &'static str, value: Option<f64>) {
+    if let Some(r) = GLOBAL.get() {
+        r.event(name, value);
+    }
+}
+
+/// Renders events as a Chrome-tracing-compatible JSON array, one event per
+/// line (JSONL-style inside the array). Complete events use phase `"X"`;
+/// instant events with a value become counter events (`"C"`), plain instants
+/// phase `"i"`.
+pub fn render_chrome_trace(events: &[TraceEvent], dropped: u64) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for e in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let name = escape_json(e.name);
+        match (e.dur_us, e.value) {
+            (Some(dur), _) => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}}}}}",
+                    e.tid, e.start_us, dur, e.depth
+                ));
+            }
+            (None, Some(v)) => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                    e.tid,
+                    e.start_us,
+                    fmt_f64(v)
+                ));
+            }
+            (None, None) => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"args\":{{\"depth\":{}}}}}",
+                    e.tid, e.start_us, e.depth
+                ));
+            }
+        }
+    }
+    if dropped > 0 {
+        if !first {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"obs.dropped\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{{\"value\":{dropped}}}}}"
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders the global recorder's events as a Chrome trace; empty trace
+/// (`"[\n]\n"` equivalent) when tracing is not installed.
+pub fn export_chrome_trace() -> String {
+    match GLOBAL.get() {
+        Some(r) => render_chrome_trace(&r.events(), r.dropped()),
+        None => render_chrome_trace(&[], 0),
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_on_drop() {
+        let r = Recorder::new(64);
+        {
+            let _outer = r.span("outer");
+            {
+                let _inner = r.span("inner");
+            }
+            r.event("tick", Some(0.5));
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 3);
+        // Inner closes first; depths reflect nesting at open time.
+        let inner = events.iter().find(|e| e.name == "inner").expect("inner");
+        let outer = events.iter().find(|e| e.name == "outer").expect("outer");
+        let tick = events.iter().find(|e| e.name == "tick").expect("tick");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(tick.depth, 1, "event inside outer span sits at depth 1");
+        assert!(inner.dur_us.is_some() && outer.dur_us.is_some());
+        assert!(tick.dur_us.is_none());
+        assert_eq!(tick.value, Some(0.5));
+        // Nesting containment: inner starts no earlier, ends no later.
+        assert!(inner.start_us >= outer.start_us);
+        let inner_end = inner.start_us + inner.dur_us.unwrap_or(0);
+        let outer_end = outer.start_us + outer.dur_us.unwrap_or(0);
+        assert!(inner_end <= outer_end);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn full_buffer_counts_drops_without_blocking() {
+        let r = Recorder::new(4);
+        for _ in 0..10 {
+            r.event("e", None);
+        }
+        assert_eq!(r.events().len(), 4);
+        assert_eq!(r.dropped(), 6);
+    }
+
+    #[test]
+    fn thread_ids_are_stable_within_a_run() {
+        let first = thread_id();
+        let again = thread_id();
+        assert_eq!(first, again, "same thread keeps its id");
+        let other = std::thread::spawn(|| (thread_id(), thread_id()))
+            .join()
+            .expect("spawned thread");
+        assert_eq!(other.0, other.1);
+        assert_ne!(other.0, first, "different threads get different ids");
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear_or_lose_within_capacity() {
+        let r = std::sync::Arc::new(Recorder::new(4_000));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let _s = r.span("work");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 4_000);
+        assert_eq!(r.dropped(), 0);
+        assert!(events
+            .iter()
+            .all(|e| e.name == "work" && e.dur_us.is_some()));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_a_json_parser() {
+        let r = Recorder::new(64);
+        {
+            let _s = r.span("phase \"quoted\"\n");
+            r.event("loss", Some(0.25));
+            r.event("marker", None);
+        }
+        let rendered = render_chrome_trace(&r.events(), 3);
+        // One event per line inside the array.
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.first().copied(), Some("["));
+        assert_eq!(lines.last().copied(), Some("]"));
+        assert_eq!(lines.len(), 2 + 4, "three events + dropped counter");
+        let parsed: serde::Value = serde_json::parse_value(&rendered).expect("valid JSON");
+        let events = parsed.as_seq().expect("top-level array");
+        assert_eq!(events.len(), 4);
+        for e in events {
+            let obj = e.as_object().expect("event object");
+            for key in ["name", "ph", "ts"] {
+                assert!(
+                    obj.iter().any(|(k, _)| k == key),
+                    "event missing {key}: {e:?}"
+                );
+            }
+        }
+        let phases: Vec<String> = events
+            .iter()
+            .filter_map(|e| e.as_object())
+            .flat_map(|obj| obj.iter())
+            .filter(|(k, _)| k == "ph")
+            .filter_map(|(_, v)| v.as_str().map(str::to_string))
+            .collect();
+        assert!(phases.contains(&"X".to_string()));
+        assert!(phases.contains(&"C".to_string()));
+        assert!(phases.contains(&"i".to_string()));
+    }
+
+    #[test]
+    fn global_helpers_are_no_ops_until_installed() {
+        // Must not panic or allocate state; install happens in binaries only.
+        event("noop", None);
+        assert!(span("noop").is_none() || global().is_some());
+        let trace = export_chrome_trace();
+        assert!(serde_json::parse_value(&trace).is_ok());
+    }
+}

@@ -44,5 +44,5 @@ pub mod server;
 
 pub use http::{Request, Response};
 pub use lru::{LruCounters, ModelLru};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{EndpointLatencies, LatencySnapshot, Metrics, MetricsSnapshot};
 pub use server::{start, AttackServer, RunningServer, ServeConfig};

@@ -1,22 +1,25 @@
-//! Server observability: request counters and a latency reservoir, exposed
-//! as the JSON `/metrics` endpoint.
+//! Server observability: request counters and per-endpoint lock-free latency
+//! histograms, exposed as the JSON `/metrics` endpoint and as Prometheus
+//! text exposition (`/metrics?format=prometheus`).
 //!
-//! Counters are lock-free atomics bumped on the request path; latencies go
-//! into a bounded reservoir (the most recent [`LATENCY_SAMPLES`] requests)
-//! from which percentiles are computed at snapshot time, so the hot path
-//! never sorts anything.
+//! Everything bumped on the request path is an atomic: counters are
+//! `AtomicUsize`, latencies go into one log-bucketed [`Histogram`] per
+//! [`Endpoint`] class (`fetch_add`-only recording, ~3 % percentile error).
+//! There is no lock anywhere on the hot path. Percentiles are computed at
+//! snapshot time from bucket counts, so recording never sorts anything.
+//!
+//! The headline `latency` block merges the *real traffic* endpoints
+//! (`ModelGet`, `ModelPut`, `Attack`); probe requests (`/healthz`,
+//! `/metrics` itself) and routing errors land in the `Other` class and are
+//! reported separately, so cheap probes can no longer dilute the p50/p99 the
+//! service is judged by.
 
 use crate::lru::LruCounters;
 use deepsplit_core::store::StoreCounters;
-use deepsplit_core::sync::lock_or_recover;
+use deepsplit_obs::{Histogram, HistogramSnapshot, PromWriter};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
-
-/// How many recent request latencies the reservoir keeps.
-pub const LATENCY_SAMPLES: usize = 4096;
 
 /// Live counters of one server process.
 #[derive(Debug, Default)]
@@ -29,18 +32,53 @@ pub struct Metrics {
     models_trained: AtomicUsize,
     epochs_trained: AtomicUsize,
     errors: AtomicUsize,
-    latency_us: Mutex<VecDeque<u64>>,
+    latency_model_get: Histogram,
+    latency_model_put: Histogram,
+    latency_attack: Histogram,
+    latency_other: Histogram,
 }
 
-/// Latency percentiles over the reservoir, in milliseconds.
+/// Latency percentiles of one endpoint class (or the merged headline), in
+/// milliseconds. Values come from log-bucketed histograms and carry at most
+/// [`deepsplit_obs::MAX_RELATIVE_ERROR`] relative error.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencySnapshot {
     /// Median request latency.
     pub p50_ms: f64,
+    /// 90th-percentile request latency.
+    pub p90_ms: f64,
     /// 99th-percentile request latency.
     pub p99_ms: f64,
-    /// Samples currently in the reservoir.
+    /// 99.9th-percentile request latency.
+    pub p999_ms: f64,
+    /// Requests recorded into this class.
     pub samples: usize,
+}
+
+impl LatencySnapshot {
+    fn from_hist(snap: &HistogramSnapshot) -> LatencySnapshot {
+        LatencySnapshot {
+            p50_ms: snap.percentile(0.50) as f64 / 1000.0,
+            p90_ms: snap.percentile(0.90) as f64 / 1000.0,
+            p99_ms: snap.percentile(0.99) as f64 / 1000.0,
+            p999_ms: snap.percentile(0.999) as f64 / 1000.0,
+            samples: snap.count() as usize,
+        }
+    }
+}
+
+/// Per-endpoint latency breakdown: one [`LatencySnapshot`] per request
+/// class, including the probe/error `other` class the headline excludes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EndpointLatencies {
+    /// `GET /models/{fingerprint}`.
+    pub model_get: LatencySnapshot,
+    /// `PUT /models/{fingerprint}`.
+    pub model_put: LatencySnapshot,
+    /// `POST /attack`.
+    pub attack: LatencySnapshot,
+    /// `/healthz`, `/metrics`, unknown routes, and panicking handlers.
+    pub other: LatencySnapshot,
 }
 
 /// One coherent `/metrics` read-out.
@@ -67,8 +105,11 @@ pub struct MetricsSnapshot {
     pub store: StoreCounters,
     /// In-process deserialized-model LRU counters.
     pub lru: LruCounters,
-    /// Request latency percentiles.
+    /// Real-traffic latency percentiles: `ModelGet` + `ModelPut` + `Attack`
+    /// merged, with `Other`-class probes deliberately excluded.
     pub latency: LatencySnapshot,
+    /// The per-endpoint breakdown behind the headline `latency`.
+    pub endpoints: EndpointLatencies,
 }
 
 impl Metrics {
@@ -77,8 +118,18 @@ impl Metrics {
         Metrics::default()
     }
 
+    fn latency_of(&self, endpoint: Endpoint) -> &Histogram {
+        match endpoint {
+            Endpoint::ModelGet => &self.latency_model_get,
+            Endpoint::ModelPut => &self.latency_model_put,
+            Endpoint::Attack => &self.latency_attack,
+            Endpoint::Other => &self.latency_other,
+        }
+    }
+
     /// Records one handled request: which endpoint class, whether it
-    /// errored, and how long it took end-to-end.
+    /// errored, and how long it took end-to-end. Atomics-only — safe to call
+    /// from every worker thread with no lock contention.
     ///
     /// A `404` on a model *load* is a cache miss — a completely normal
     /// store operation, already visible in [`StoreCounters::misses`] — so
@@ -98,11 +149,8 @@ impl Metrics {
         if status >= 400 && !expected_miss {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let mut reservoir = lock_or_recover(&self.latency_us);
-        if reservoir.len() == LATENCY_SAMPLES {
-            reservoir.pop_front();
-        }
-        reservoir.push_back(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+        self.latency_of(endpoint)
+            .record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Records an `/attack` request that waited for another request's model
@@ -119,16 +167,14 @@ impl Metrics {
 
     /// A coherent snapshot, folding in the store and LRU counters.
     pub fn snapshot(&self, store: StoreCounters, lru: LruCounters) -> MetricsSnapshot {
-        let latency = {
-            let reservoir = lock_or_recover(&self.latency_us);
-            let mut sorted: Vec<u64> = reservoir.iter().copied().collect();
-            sorted.sort_unstable();
-            LatencySnapshot {
-                p50_ms: percentile_ms(&sorted, 0.50),
-                p99_ms: percentile_ms(&sorted, 0.99),
-                samples: sorted.len(),
-            }
-        };
+        let model_get = self.latency_model_get.snapshot();
+        let model_put = self.latency_model_put.snapshot();
+        let attack = self.latency_attack.snapshot();
+        let other = self.latency_other.snapshot();
+        // Headline = real traffic only; histogram merge is exact.
+        let mut traffic = model_get.clone();
+        traffic.merge(&model_put);
+        traffic.merge(&attack);
         MetricsSnapshot {
             requests_total: self.requests_total.load(Ordering::Relaxed),
             model_gets: self.model_gets.load(Ordering::Relaxed),
@@ -140,8 +186,110 @@ impl Metrics {
             errors: self.errors.load(Ordering::Relaxed),
             store,
             lru,
-            latency,
+            latency: LatencySnapshot::from_hist(&traffic),
+            endpoints: EndpointLatencies {
+                model_get: LatencySnapshot::from_hist(&model_get),
+                model_put: LatencySnapshot::from_hist(&model_put),
+                attack: LatencySnapshot::from_hist(&attack),
+                other: LatencySnapshot::from_hist(&other),
+            },
         }
+    }
+
+    /// Prometheus text exposition of every metric, with full bucket data for
+    /// the per-endpoint latency histograms (seconds, per convention).
+    pub fn prometheus(&self, store: StoreCounters, lru: LruCounters) -> String {
+        let mut w = PromWriter::new();
+        w.counter(
+            "deepsplit_requests_total",
+            "Requests handled (any endpoint, any outcome).",
+            self.requests_total.load(Ordering::Relaxed) as u64,
+        );
+        w.counter(
+            "deepsplit_model_gets_total",
+            "GET /models/{fingerprint} requests.",
+            self.model_gets.load(Ordering::Relaxed) as u64,
+        );
+        w.counter(
+            "deepsplit_model_puts_total",
+            "PUT /models/{fingerprint} requests.",
+            self.model_puts.load(Ordering::Relaxed) as u64,
+        );
+        w.counter(
+            "deepsplit_attacks_total",
+            "POST /attack requests.",
+            self.attacks.load(Ordering::Relaxed) as u64,
+        );
+        w.counter(
+            "deepsplit_attacks_coalesced_total",
+            "Attack requests coalesced onto another request's model resolution.",
+            self.attacks_coalesced.load(Ordering::Relaxed) as u64,
+        );
+        w.counter(
+            "deepsplit_models_trained_total",
+            "Models this server trained itself.",
+            self.models_trained.load(Ordering::Relaxed) as u64,
+        );
+        w.counter(
+            "deepsplit_epochs_trained_total",
+            "Training epochs spent on self-trained models.",
+            self.epochs_trained.load(Ordering::Relaxed) as u64,
+        );
+        w.counter(
+            "deepsplit_errors_total",
+            "Requests answered 4xx/5xx (expected model-load misses excluded).",
+            self.errors.load(Ordering::Relaxed) as u64,
+        );
+        w.counter(
+            "deepsplit_store_hits_total",
+            "Model-store load hits.",
+            store.hits as u64,
+        );
+        w.counter(
+            "deepsplit_store_misses_total",
+            "Model-store load misses.",
+            store.misses as u64,
+        );
+        w.counter(
+            "deepsplit_store_saves_total",
+            "Model-store saves.",
+            store.saves as u64,
+        );
+        w.counter(
+            "deepsplit_lru_hits_total",
+            "Deserialized-model LRU hits.",
+            lru.hits as u64,
+        );
+        w.counter(
+            "deepsplit_lru_misses_total",
+            "Deserialized-model LRU misses.",
+            lru.misses as u64,
+        );
+        w.counter(
+            "deepsplit_lru_evictions_total",
+            "Deserialized-model LRU evictions.",
+            lru.evictions as u64,
+        );
+        w.gauge(
+            "deepsplit_lru_entries",
+            "Models currently resident in the LRU.",
+            lru.len as f64,
+        );
+        let endpoints = [
+            ("model_get", &self.latency_model_get),
+            ("model_put", &self.latency_model_put),
+            ("attack", &self.latency_attack),
+            ("other", &self.latency_other),
+        ];
+        for (name, hist) in endpoints {
+            w.histogram(
+                &format!("deepsplit_request_latency_{name}_seconds"),
+                &format!("End-to-end latency of the {name} endpoint class."),
+                &hist.snapshot(),
+                1e-6,
+            );
+        }
+        w.finish()
     }
 }
 
@@ -159,7 +307,9 @@ pub enum Endpoint {
 }
 
 /// The `q`-quantile of pre-sorted microsecond samples, in milliseconds
-/// (nearest-rank; `0.0` on an empty set).
+/// (nearest-rank; `0.0` on an empty set). Exact — the loadgen client uses
+/// this for its own sample sets, against which the server's bucketed
+/// percentiles can be sanity-checked.
 pub fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
@@ -198,8 +348,14 @@ mod tests {
         assert_eq!(s.attacks_coalesced, 1);
         assert_eq!(s.models_trained, 1);
         assert_eq!(s.epochs_trained, 12);
-        assert_eq!(s.latency.samples, 3);
+        // Headline latency covers real traffic only (2 samples, not 3).
+        assert_eq!(s.latency.samples, 2);
+        assert_eq!(s.endpoints.other.samples, 1);
+        assert_eq!(s.endpoints.model_get.samples, 1);
+        assert_eq!(s.endpoints.attack.samples, 1);
         assert!(s.latency.p50_ms >= 1.0 && s.latency.p99_ms >= s.latency.p50_ms);
+        assert!(s.latency.p999_ms >= s.latency.p99_ms);
+        assert!(s.latency.p90_ms >= s.latency.p50_ms);
         // The snapshot is itself wire-serializable for the /metrics route.
         let json = serde_json::to_string(&s).expect("serialise snapshot");
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("parse snapshot");
@@ -207,12 +363,75 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_is_bounded() {
+    fn probe_latencies_do_not_pollute_the_headline() {
         let m = Metrics::new();
-        for _ in 0..(LATENCY_SAMPLES + 10) {
-            m.record_request(Endpoint::Other, 200, Duration::from_micros(5));
+        // Real traffic: slow attacks around 100 ms.
+        for _ in 0..10 {
+            m.record_request(Endpoint::Attack, 200, Duration::from_millis(100));
+        }
+        // A flood of sub-millisecond health probes.
+        for _ in 0..1000 {
+            m.record_request(Endpoint::Other, 200, Duration::from_micros(50));
         }
         let s = m.snapshot(StoreCounters::default(), LruCounters::default());
-        assert_eq!(s.latency.samples, LATENCY_SAMPLES);
+        assert_eq!(s.latency.samples, 10);
+        assert!(
+            s.latency.p50_ms > 90.0,
+            "headline p50 must reflect attack traffic, got {}",
+            s.latency.p50_ms
+        );
+        assert_eq!(s.endpoints.other.samples, 1000);
+        assert!(s.endpoints.other.p99_ms < 1.0);
+    }
+
+    #[test]
+    fn headline_merge_matches_per_endpoint_counts() {
+        let m = Metrics::new();
+        for i in 1..=50u64 {
+            m.record_request(Endpoint::ModelGet, 200, Duration::from_micros(i * 10));
+            m.record_request(Endpoint::ModelPut, 204, Duration::from_micros(i * 20));
+            m.record_request(Endpoint::Attack, 200, Duration::from_micros(i * 400));
+        }
+        let s = m.snapshot(StoreCounters::default(), LruCounters::default());
+        assert_eq!(
+            s.latency.samples,
+            s.endpoints.model_get.samples
+                + s.endpoints.model_put.samples
+                + s.endpoints.attack.samples
+        );
+        // The merged p99 is dominated by the slowest class.
+        assert!(s.latency.p99_ms >= s.endpoints.model_get.p99_ms);
+        assert!(s.latency.p99_ms <= s.endpoints.attack.p99_ms * (1.0 + 0.04) + 0.001);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_complete_and_valid() {
+        let m = Metrics::new();
+        m.record_request(Endpoint::Attack, 200, Duration::from_millis(5));
+        m.record_request(Endpoint::Other, 200, Duration::from_micros(80));
+        let body = m.prometheus(StoreCounters::default(), LruCounters::default());
+        for series in [
+            "deepsplit_requests_total 2",
+            "deepsplit_attacks_total 1",
+            "deepsplit_errors_total 0",
+            "# TYPE deepsplit_request_latency_attack_seconds histogram",
+            "deepsplit_request_latency_attack_seconds_count 1",
+            "deepsplit_request_latency_other_seconds_count 1",
+            "deepsplit_request_latency_attack_seconds_bucket{le=\"+Inf\"} 1",
+        ] {
+            assert!(body.contains(series), "missing `{series}` in:\n{body}");
+        }
+        assert!(body.ends_with('\n'));
+    }
+
+    #[test]
+    fn recording_is_unbounded_and_lossless() {
+        // The old reservoir capped at 4096 samples; histograms never drop.
+        let m = Metrics::new();
+        for _ in 0..10_000 {
+            m.record_request(Endpoint::Attack, 200, Duration::from_micros(5));
+        }
+        let s = m.snapshot(StoreCounters::default(), LruCounters::default());
+        assert_eq!(s.latency.samples, 10_000);
     }
 }

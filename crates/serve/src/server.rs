@@ -5,6 +5,7 @@
 //! |-------|-----------|
 //! | `GET /healthz` | liveness probe (`200 ok`) |
 //! | `GET /metrics` | JSON [`MetricsSnapshot`] |
+//! | `GET /metrics?format=prometheus` | Prometheus text exposition |
 //! | `GET /models/{fingerprint}` | model blob from the backing store (`404` on miss) |
 //! | `PUT /models/{fingerprint}` | store a model blob (`204`) |
 //! | `POST /attack` | ranked inference for a serialized FEOL cell spec |
@@ -32,6 +33,7 @@ use deepsplit_flow::attack::network_flow_attack;
 use deepsplit_flow::metrics::ccr;
 use deepsplit_flow::proximity::proximity_attack;
 use deepsplit_netlist::benchmarks::Benchmark;
+use deepsplit_obs as obs;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
@@ -172,9 +174,15 @@ impl AttackServer {
     }
 
     fn route(&self, req: &Request) -> (Endpoint, Response) {
-        match (req.method.as_str(), req.path.as_str()) {
+        // The query string selects representations (`?format=prometheus`),
+        // never routes, so it is split off before matching.
+        let (path, query) = match req.path.split_once('?') {
+            Some((path, query)) => (path, query),
+            None => (req.path.as_str(), ""),
+        };
+        match (req.method.as_str(), path) {
             ("GET", "/healthz") => (Endpoint::Other, Response::text(200, "ok")),
-            ("GET", "/metrics") => (Endpoint::Other, self.handle_metrics()),
+            ("GET", "/metrics") => (Endpoint::Other, self.handle_metrics(query)),
             ("POST", "/attack") => (Endpoint::Attack, self.handle_attack(req)),
             (method, path) if path.starts_with("/models/") => {
                 let hex = path.strip_prefix("/models/").unwrap_or(path);
@@ -198,7 +206,14 @@ impl AttackServer {
         }
     }
 
-    fn handle_metrics(&self) -> Response {
+    fn handle_metrics(&self, query: &str) -> Response {
+        if query.split('&').any(|kv| kv == "format=prometheus") {
+            return Response::text(
+                200,
+                self.metrics
+                    .prometheus(self.store.counters(), self.lru.counters()),
+            );
+        }
         match serde_json::to_string_pretty(&self.metrics_snapshot()) {
             Ok(json) => Response::json(200, json),
             Err(e) => Response::error(500, format!("serialise metrics: {e}")),
@@ -255,16 +270,25 @@ impl AttackServer {
 
     /// The full evaluation pipeline of one validated request.
     fn evaluate(&self, spec: &AttackRequest, victim_bench: Benchmark) -> AttackResponse {
+        let _request_span = obs::span("serve.attack");
         let layer = spec.layer();
         let fp = spec.fingerprint();
         let base = self.base_of(victim_bench, &spec.eval);
-        let resolved = self.resolve_model(fp, &base, spec);
+        let resolve_started = Instant::now();
+        let resolved = {
+            let _span = obs::span("serve.resolve");
+            self.resolve_model(fp, &base, spec)
+        };
+        let resolve_ms = resolve_started.elapsed().as_secs_f64() * 1000.0;
 
         // Defend the victim exactly as a matrix cell would, then rank.
         let defended =
             deepsplit_defense::apply(&base.victim, &spec.eval.implement, layer, &spec.defense);
         let victim = PreparedDesign::prepare(&defended.design, layer, &spec.eval.attack);
-        let ranked = attack_ranked(&resolved.model, &victim, spec.top_k, self.inference_threads);
+        let ranked = {
+            let _span = obs::span("serve.infer");
+            attack_ranked(&resolved.model, &victim, spec.top_k, self.inference_threads)
+        };
         let dl_ccr = ccr(&victim.view, &ranked.assignment());
         let rankings = rankings_of(&ranked, &victim.view);
         let total_sink_pins: usize = victim
@@ -295,6 +319,7 @@ impl AttackServer {
             proximity_ccr,
             flow,
             inference_ms: ranked.inference.as_secs_f64() * 1000.0,
+            resolve_ms,
             rankings,
         }
     }
@@ -348,6 +373,7 @@ impl AttackServer {
             // Someone else is resolving this fingerprint: wait, then retry
             // (their result lands in the LRU, or in the store if the LRU is
             // disabled — either way the next lap is cheap).
+            obs::event("serve.coalesced", None);
             self.metrics.record_coalesced();
             self.inflight.wait(&fp);
         }
@@ -529,7 +555,10 @@ mod tests {
             "a panicking route must still be counted"
         );
         assert_eq!(snapshot.errors, 1, "…and counted as an error");
-        assert_eq!(snapshot.latency.samples, 1);
+        // A panicking handler is Other-class: visible in the per-endpoint
+        // breakdown, excluded from the real-traffic headline.
+        assert_eq!(snapshot.endpoints.other.samples, 1);
+        assert_eq!(snapshot.latency.samples, 0);
     }
 
     #[test]

@@ -222,6 +222,67 @@ fn attack_endpoint_serves_ranked_matches_and_caches_the_model() {
     // the three attack requests are guaranteed to have landed.
     assert!(m.latency.samples >= 3);
     assert!(m.latency.p99_ms >= m.latency.p50_ms);
+    assert!(m.latency.p999_ms >= m.latency.p99_ms);
+    assert!(m.endpoints.attack.samples >= 3, "per-endpoint breakdown");
+    assert!(
+        cold.resolve_ms > 0.0,
+        "cold resolve covers the training run"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn metrics_separate_probe_traffic_and_speak_prometheus() {
+    let server = test_server();
+    let base = server.url();
+
+    // Probe traffic only: health checks and metrics reads.
+    for _ in 0..5 {
+        assert_eq!(
+            httpc::get(&format!("{base}/healthz"), TIMEOUT)
+                .expect("healthz")
+                .status,
+            200
+        );
+    }
+    let m = metrics_of(&server);
+    assert_eq!(
+        m.latency.samples, 0,
+        "probes must not enter the real-traffic latency headline"
+    );
+    assert!(
+        m.endpoints.other.samples >= 5,
+        "…but must be visible in the Other class"
+    );
+
+    // One real request (a store miss) lands in the headline.
+    let url = format!("{base}/models/{}", conformance::key(21).to_hex());
+    assert_eq!(httpc::get(&url, TIMEOUT).expect("GET model").status, 404);
+    let m = metrics_of(&server);
+    assert_eq!(m.latency.samples, 1);
+    assert_eq!(m.endpoints.model_get.samples, 1);
+
+    // The same endpoint serves Prometheus text exposition on request.
+    let prom = httpc::get(&format!("{base}/metrics?format=prometheus"), TIMEOUT)
+        .expect("GET prometheus metrics");
+    assert_eq!(prom.status, 200);
+    let body = prom.body_str().expect("prometheus body");
+    for series in [
+        "# TYPE deepsplit_requests_total counter",
+        "# TYPE deepsplit_request_latency_attack_seconds histogram",
+        "deepsplit_request_latency_other_seconds_bucket{le=\"+Inf\"}",
+        "deepsplit_request_latency_model_get_seconds_count 1",
+        "deepsplit_errors_total 0",
+    ] {
+        assert!(body.contains(series), "missing `{series}` in:\n{body}");
+    }
+    // JSON stays the default representation.
+    let json = httpc::get(&format!("{base}/metrics"), TIMEOUT).expect("GET metrics");
+    assert!(json
+        .body_str()
+        .expect("json body")
+        .trim_start()
+        .starts_with('{'));
     server.shutdown();
 }
 
