@@ -1,5 +1,5 @@
-//! The attack-inference server binary, plus a small load generator for the
-//! CI perf trajectory.
+//! The attack-inference server binary, plus a load generator and the
+//! adversary-detection red team for the CI perf/detection trajectories.
 //!
 //! ```text
 //! # Serve a disk-backed model store + ranked inference on port 8077:
@@ -8,19 +8,35 @@
 //! # Knobs: --addr HOST:PORT, --threads N (HTTP workers), --lru N
 //! # (deserialized-model cache), --inference-threads N.
 //!
+//! # Query-stream adversary detection (off by default): --detect turns it
+//! # on; --detect-window-ms N sets the scoring window, --detect-trigger N
+//! # the hot windows before flagging, and --countermeasure
+//! # observe|rate-limit|deceive what flagged clients get.
+//! cargo run --release --bin attack_server -- --detect --countermeasure rate-limit
+//!
 //! # Point sweep shards at it from other machines:
 //! cargo run --release --bin defense_matrix -- --store-url http://HOST:8077 …
 //!
 //! # Query it directly:
 //! curl -s http://HOST:8077/healthz
-//! curl -s http://HOST:8077/metrics
-//! curl -s http://HOST:8077/models/<fingerprint>        # model blob
+//! curl -s http://HOST:8077/metrics               # detection block included
+//! curl -s http://HOST:8077/models/<fingerprint>  # model blob
 //! curl -s -X POST http://HOST:8077/attack -d @spec.json
 //!
 //! # Load loop (req/s + p50/p90/p99/p99.9 + the server's own per-endpoint
-//! # histogram percentiles into BENCH_serve.json):
+//! # histogram percentiles into BENCH_serve.json). --concurrency N drives
+//! # the loop from N worker threads sharing one request counter.
 //! cargo run --release --bin attack_server -- \
-//!     --loadgen http://HOST:8077 --requests 200 --json BENCH_serve.json
+//!     --loadgen http://HOST:8077 --requests 200 --concurrency 4 --json BENCH_serve.json
+//!
+//! # Red-team profiles against a live detector-enabled server: --profile
+//! # benign|harvest|stealthy POSTs shaped /attack traffic under --client ID
+//! # (429 answers count as `rate_limited`, not failures).
+//! cargo run --release --bin attack_server -- \
+//!     --loadgen http://HOST:8077 --profile harvest --client mallory --requests 40
+//!
+//! # Offline deterministic ROC artifact (no server involved):
+//! cargo run --release --bin attack_server -- --detect-roc --json BENCH_detect.json
 //!
 //! # Server-side tracing: --trace PATH keeps a chrome://tracing file of
 //! # request spans (resolve/coalesce/infer), rewritten every few seconds.
@@ -31,11 +47,17 @@
 //! client of this server process, gone when it exits.
 
 use deepsplit_bench::cli::{usize_arg, value_arg};
+use deepsplit_core::config::AttackConfig;
 use deepsplit_core::httpc;
 use deepsplit_core::store::{DiskModelStore, MemoryModelStore, ModelStore};
-use deepsplit_serve::{start, EndpointLatencies, MetricsSnapshot, ServeConfig};
+use deepsplit_defense::eval::EvalConfig;
+use deepsplit_defense::service::AttackRequest;
+use deepsplit_netlist::benchmarks::Benchmark;
+use deepsplit_serve::detect::{roc, Countermeasure};
+use deepsplit_serve::{start, DetectionSnapshot, EndpointLatencies, MetricsSnapshot, ServeConfig};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The `BENCH_serve.json` artifact: one load-loop measurement.
@@ -43,12 +65,22 @@ use std::time::{Duration, Instant};
 struct ServeBenchReport {
     /// Server under test.
     url: String,
-    /// Path every request hit.
+    /// Path every request hit (`/attack` for profile traffic).
     path: String,
     /// Requests attempted.
     requests: usize,
-    /// Requests that did not answer 2xx (or failed outright).
+    /// Requests that did not answer 2xx (429s under a red-team profile are
+    /// counted in `rate_limited` instead — they are the detector working).
     failures: usize,
+    /// Successful requests whose latencies back the percentiles below.
+    samples: usize,
+    /// Requests answered `429 Too Many Requests` by the server's adversary
+    /// detector (only expected under `--profile harvest`/`stealthy`).
+    rate_limited: usize,
+    /// Worker threads that drove the loop (`1` = the serial floor).
+    concurrency: usize,
+    /// Red-team traffic profile, when one was used.
+    profile: Option<String>,
     /// Wall-clock of the whole loop in seconds.
     wall_s: f64,
     /// Successful requests per second.
@@ -66,59 +98,186 @@ struct ServeBenchReport {
     /// percentiles are histogram-bucketed (~3 % error) and cover every
     /// request the process served, not just this loop's.
     server_endpoints: Option<EndpointLatencies>,
+    /// The server's detection read-out after the loop (same scrape).
+    server_detection: Option<DetectionSnapshot>,
 }
 
-/// Serial request loop against `base + path`: the single-client floor of the
-/// serve perf trajectory (no pipelining, one connection per request — the
-/// same cost model as `RemoteModelStore`).
-fn loadgen(base: &str, path: &str, requests: usize, json_out: Option<String>) {
-    let url = format!("{}{path}", base.trim_end_matches('/'));
-    let timeout = Duration::from_secs(30);
+/// A deliberately tiny evaluation protocol, mirroring the serve test suite:
+/// a cold `/attack` trains in seconds, so red-team profiles can run against
+/// a live server inside a CI job.
+fn tiny_eval() -> EvalConfig {
+    EvalConfig {
+        attack: AttackConfig {
+            use_images: false,
+            candidates: 8,
+            epochs: 4,
+            batch_size: 16,
+            threads: 2,
+            ..AttackConfig::fast()
+        },
+        scale: 0.4,
+        train_benchmarks: vec![Benchmark::C880],
+        recovery_rounds: 6,
+        train_query_cap: 150,
+        ..EvalConfig::fast()
+    }
+}
+
+/// The `i`-th request body of a red-team profile. Harvest hammers one
+/// victim spec (same fingerprint, same candidate universe, machine-gun
+/// pacing); benign cycles distinct victims with jittered pacing; stealthy
+/// harvests on every third request and hides behind benign traffic
+/// otherwise.
+fn profile_spec(profile: &str, client: &str, i: usize) -> AttackRequest {
+    let benign_victims = [Benchmark::C432, Benchmark::C1355, Benchmark::C1908];
+    let bench = match profile {
+        "harvest" => Benchmark::C432,
+        "stealthy" if i.is_multiple_of(3) => Benchmark::C432,
+        // Skip the harvest victim in stealthy cover traffic so the cover
+        // and the harvest sub-stream stay distinguishable.
+        "stealthy" => benign_victims[1 + i % 2],
+        _ => benign_victims[i % benign_victims.len()],
+    };
+    AttackRequest {
+        eval: tiny_eval(),
+        top_k: 0,
+        client: Some(client.to_string()),
+        ..AttackRequest::fast(bench)
+    }
+}
+
+/// How long the `i`-th request of a profile waits before firing:
+/// deterministic jitter for benign/stealthy cover, nothing for harvest.
+fn profile_pause(profile: &str, i: usize) -> Duration {
+    match profile {
+        "harvest" => Duration::ZERO,
+        "stealthy" => Duration::from_millis(60 + (i as u64 * 29) % 120),
+        _ => Duration::from_millis(120 + (i as u64 * 37) % 160),
+    }
+}
+
+/// Outcome tallies of one loadgen worker.
+#[derive(Default)]
+struct WorkerTally {
+    latencies_us: Vec<u64>,
+    failures: usize,
+    rate_limited: usize,
+}
+
+/// Request loop against the server: `concurrency` workers share one request
+/// counter, so exactly `requests` requests are sent in total. Without
+/// `--profile` every request is a `GET path`; with one, each is a shaped
+/// `POST /attack`.
+#[allow(clippy::too_many_arguments)]
+fn loadgen(
+    base: &str,
+    path: &str,
+    requests: usize,
+    concurrency: usize,
+    profile: Option<String>,
+    client: String,
+    json_out: Option<String>,
+) {
+    let base = base.trim_end_matches('/').to_string();
+    let timeout = Duration::from_secs(300);
+    let next = Arc::new(AtomicUsize::new(0));
+    let tallies: Arc<Mutex<Vec<WorkerTally>>> = Arc::new(Mutex::new(Vec::new()));
+    let concurrency = concurrency.max(1);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency {
+            let next = Arc::clone(&next);
+            let tallies = Arc::clone(&tallies);
+            let base = base.clone();
+            let profile = profile.clone();
+            let client = client.clone();
+            scope.spawn(move || {
+                let mut tally = WorkerTally::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests {
+                        break;
+                    }
+                    let outcome = match &profile {
+                        None => {
+                            let url = format!("{base}{path}");
+                            let t0 = Instant::now();
+                            httpc::get(&url, timeout).map(|r| (r, t0.elapsed()))
+                        }
+                        Some(p) => {
+                            std::thread::sleep(profile_pause(p, i));
+                            let spec = profile_spec(p, &client, i);
+                            let body = serde_json::to_string(&spec).expect("serialise attack spec");
+                            let t0 = Instant::now();
+                            httpc::post(&format!("{base}/attack"), body.as_bytes(), timeout)
+                                .map(|r| (r, t0.elapsed()))
+                        }
+                    };
+                    match outcome {
+                        Ok((r, elapsed)) if r.is_success() => {
+                            tally
+                                .latencies_us
+                                .push(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+                        }
+                        Ok((r, _)) if r.status == 429 && profile.is_some() => {
+                            tally.rate_limited += 1;
+                        }
+                        Ok((r, _)) => {
+                            eprintln!("loadgen: request {i} answered HTTP {}", r.status);
+                            tally.failures += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("loadgen: request {i}: {e}");
+                            tally.failures += 1;
+                        }
+                    }
+                }
+                tallies.lock().expect("collect worker tally").push(tally);
+            });
+        }
+    });
+    let wall = started.elapsed();
     let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
     let mut failures = 0usize;
-    let started = Instant::now();
-    for _ in 0..requests {
-        let t0 = Instant::now();
-        match httpc::get(&url, timeout) {
-            Ok(r) if r.is_success() => {
-                latencies_us.push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-            }
-            Ok(r) => {
-                eprintln!("loadgen: {url} answered HTTP {}", r.status);
-                failures += 1;
-            }
-            Err(e) => {
-                eprintln!("loadgen: {url}: {e}");
-                failures += 1;
-            }
-        }
+    let mut rate_limited = 0usize;
+    for tally in tallies.lock().expect("read worker tallies").drain(..) {
+        latencies_us.extend(tally.latencies_us);
+        failures += tally.failures;
+        rate_limited += tally.rate_limited;
     }
-    let wall = started.elapsed();
     latencies_us.sort_unstable();
-    // The server's own per-endpoint view of the same traffic (plus whatever
-    // else it served) — best-effort: a scrape failure degrades the report,
-    // not the run.
-    let server_endpoints = httpc::get(&format!("{}/metrics", base.trim_end_matches('/')), timeout)
+    // The server's own view of the same traffic (plus whatever else it
+    // served) — best-effort: a scrape failure degrades the report, not the
+    // run.
+    let scraped = httpc::get(&format!("{base}/metrics"), timeout)
         .ok()
         .filter(|r| r.is_success())
         .and_then(|r| r.body_str().ok().map(str::to_string))
-        .and_then(|body| serde_json::from_str::<MetricsSnapshot>(&body).ok())
-        .map(|m| m.endpoints);
+        .and_then(|body| serde_json::from_str::<MetricsSnapshot>(&body).ok());
     let report = ServeBenchReport {
         url: base.to_string(),
-        path: path.to_string(),
+        path: if profile.is_some() {
+            "/attack".to_string()
+        } else {
+            path.to_string()
+        },
         requests,
         failures,
+        samples: latencies_us.len(),
+        rate_limited,
+        concurrency,
+        profile: profile.clone(),
         wall_s: wall.as_secs_f64(),
         requests_per_sec: latencies_us.len() as f64 / wall.as_secs_f64().max(1e-9),
         p50_ms: deepsplit_serve::metrics::percentile_ms(&latencies_us, 0.50),
         p90_ms: deepsplit_serve::metrics::percentile_ms(&latencies_us, 0.90),
         p99_ms: deepsplit_serve::metrics::percentile_ms(&latencies_us, 0.99),
         p999_ms: deepsplit_serve::metrics::percentile_ms(&latencies_us, 0.999),
-        server_endpoints,
+        server_endpoints: scraped.as_ref().map(|m| m.endpoints),
+        server_detection: scraped.map(|m| m.detection),
     };
     eprintln!(
-        "loadgen: {} requests to {} in {:.2}s — {:.0} req/s, p50 {:.2}ms, p90 {:.2}ms, p99 {:.2}ms, p99.9 {:.2}ms, {} failures",
+        "loadgen: {} requests to {} in {:.2}s — {:.0} req/s, p50 {:.2}ms, p90 {:.2}ms, p99 {:.2}ms, p99.9 {:.2}ms, {} failures, {} rate-limited ({} workers)",
         report.requests,
         report.path,
         report.wall_s,
@@ -128,7 +287,15 @@ fn loadgen(base: &str, path: &str, requests: usize, json_out: Option<String>) {
         report.p99_ms,
         report.p999_ms,
         report.failures,
+        report.rate_limited,
+        report.concurrency,
     );
+    if failures > 0 {
+        eprintln!(
+            "loadgen: warning: {failures} of {requests} requests failed — percentiles cover only the {} successful samples",
+            report.samples
+        );
+    }
     if let Some(path) = json_out {
         let json = serde_json::to_string_pretty(&report).expect("serialise bench report");
         std::fs::write(&path, json).expect("write bench report");
@@ -139,16 +306,78 @@ fn loadgen(base: &str, path: &str, requests: usize, json_out: Option<String>) {
     }
 }
 
+/// Offline detection ROC: deterministic synthetic profile streams through a
+/// fresh detector, swept across thresholds — `BENCH_detect.json`.
+fn detect_roc(args: &[String]) {
+    let requests = usize_arg(args, "--requests", 240);
+    let window_ms = usize_arg(args, "--window-ms", 1_000);
+    let seed = usize_arg(args, "--seed", 42) as u64;
+    let report = roc::run(requests, window_ms as u64 * 1_000, seed);
+    eprintln!(
+        "detect_roc: {} requests/profile, {window_ms}ms windows, seed {seed} — AUC harvest {:.4}, stealthy {:.4} (benign mean {:.3}, harvest mean {:.3})",
+        report.requests_per_profile,
+        report.auc_harvest_vs_benign,
+        report.auc_stealthy_vs_benign,
+        report.mean_benign_score,
+        report.mean_harvest_score,
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serialise ROC report");
+    match value_arg(args, "--json") {
+        Some(path) => {
+            std::fs::write(&path, json).expect("write ROC report");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    if let Some(base) = value_arg(&args, "--loadgen") {
-        let requests = usize_arg(&args, "--requests", 200);
-        let path = value_arg(&args, "--path").unwrap_or_else(|| "/healthz".to_string());
-        loadgen(&base, &path, requests, value_arg(&args, "--json"));
+    if args.iter().any(|a| a == "--detect-roc") {
+        detect_roc(&args);
         return;
     }
 
+    if let Some(base) = value_arg(&args, "--loadgen") {
+        let requests = usize_arg(&args, "--requests", 200);
+        let concurrency = usize_arg(&args, "--concurrency", 1);
+        let path = value_arg(&args, "--path").unwrap_or_else(|| "/healthz".to_string());
+        let profile = value_arg(&args, "--profile");
+        if let Some(p) = &profile {
+            assert!(
+                matches!(p.as_str(), "benign" | "harvest" | "stealthy"),
+                "bad --profile `{p}` (benign|harvest|stealthy)"
+            );
+        }
+        let client = value_arg(&args, "--client")
+            .or_else(|| profile.clone())
+            .unwrap_or_else(|| "loadgen".to_string());
+        loadgen(
+            &base,
+            &path,
+            requests,
+            concurrency,
+            profile,
+            client,
+            value_arg(&args, "--json"),
+        );
+        return;
+    }
+
+    let mut detect = ServeConfig::default().detect;
+    detect.enabled = args.iter().any(|a| a == "--detect");
+    detect.window_us = usize_arg(
+        &args,
+        "--detect-window-ms",
+        (detect.window_us / 1_000) as usize,
+    ) as u64
+        * 1_000;
+    detect.trigger_windows = usize_arg(&args, "--detect-trigger", detect.trigger_windows);
+    if let Some(cm) = value_arg(&args, "--countermeasure") {
+        detect.countermeasure = Countermeasure::from_name(&cm)
+            .unwrap_or_else(|| panic!("bad --countermeasure `{cm}` (observe|rate-limit|deceive)"));
+    }
     let config = ServeConfig {
         addr: value_arg(&args, "--addr").unwrap_or_else(|| "127.0.0.1:8077".to_string()),
         threads: usize_arg(&args, "--threads", ServeConfig::default().threads),
@@ -158,6 +387,7 @@ fn main() {
             "--inference-threads",
             ServeConfig::default().inference_threads,
         ),
+        detect,
     };
     let store: Arc<dyn ModelStore + Send + Sync> = match value_arg(&args, "--cache-dir") {
         Some(dir) => {
@@ -186,6 +416,14 @@ fn main() {
         eprintln!("tracing: chrome trace exported every 5s");
     }
 
+    if config.detect.enabled {
+        eprintln!(
+            "detection: on — {}ms windows, trigger {}, countermeasure {}",
+            config.detect.window_us / 1_000,
+            config.detect.trigger_windows,
+            config.detect.countermeasure.name(),
+        );
+    }
     let server = start(&config, store).expect("bind server address");
     eprintln!(
         "attack_server listening on http://{} ({} workers, LRU {})",

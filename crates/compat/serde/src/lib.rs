@@ -150,13 +150,20 @@ pub trait Deserialize: Sized {
 /// Looks a derived-struct field up by name and deserializes it (used by the
 /// generated `Deserialize` impls).
 ///
+/// An *absent* field is offered to the type as [`Value::Null`] first, so any
+/// type that accepts `null` — notably `Option<T>`, which maps it to `None` —
+/// is wire-optional: old clients can keep sending payloads that predate the
+/// field. Types that reject `null` still get the classic "missing field"
+/// error.
+///
 /// # Errors
 ///
-/// Returns an [`Error`] when the field is missing or mismatched.
+/// Returns an [`Error`] when the field is missing (and the type rejects
+/// `null`) or mismatched.
 pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
     match obj.iter().find(|(k, _)| k == name) {
         Some((_, v)) => T::deserialize(v),
-        None => Err(Error(format!("missing field `{name}`"))),
+        None => T::deserialize(&Value::Null).map_err(|_| Error(format!("missing field `{name}`"))),
     }
 }
 
@@ -459,6 +466,17 @@ impl Deserialize for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absent_fields_are_null_to_optional_types_and_errors_to_the_rest() {
+        let obj: Vec<(String, Value)> = vec![("present".to_string(), Value::Int(7))];
+        // Option<T> treats absence exactly like an explicit null.
+        assert_eq!(field::<Option<u8>>(&obj, "absent").unwrap(), None);
+        assert_eq!(field::<Option<u8>>(&obj, "present").unwrap(), Some(7));
+        // Non-nullable types keep the classic missing-field diagnosis.
+        let err = field::<u8>(&obj, "absent").unwrap_err();
+        assert!(err.to_string().contains("missing field `absent`"), "{err}");
+    }
 
     #[test]
     fn primitives_round_trip() {

@@ -55,6 +55,11 @@ pub struct AttackRequest {
     pub top_k: usize,
     /// Also run the network-flow baseline against the victim (slower).
     pub include_flow: bool,
+    /// Self-reported client identity, used as the detection key by servers
+    /// running the query-stream adversary detector (absent → the peer IP).
+    /// Optional and absent on the wire by default, so pre-existing clients
+    /// are unaffected.
+    pub client: Option<String>,
 }
 
 impl AttackRequest {
@@ -67,6 +72,7 @@ impl AttackRequest {
             eval: EvalConfig::fast(),
             top_k: 5,
             include_flow: false,
+            client: None,
         }
     }
 
@@ -265,9 +271,19 @@ mod tests {
             seed: 11,
         };
         req.include_flow = true;
+        req.client = Some("alice".to_string());
         let json = serde_json::to_string(&req).expect("serialise request");
         let back: AttackRequest = serde_json::from_str(&json).expect("parse request");
         assert_eq!(back, req);
+
+        // A request that predates the `client` field still parses: absent
+        // optional fields deserialise to `None`.
+        let legacy = json
+            .replace(",\"client\":\"alice\"", "")
+            .replace("\"client\":\"alice\",", "");
+        assert!(!legacy.contains("client"));
+        let back: AttackRequest = serde_json::from_str(&legacy).expect("parse legacy request");
+        assert_eq!(back.client, None);
     }
 
     #[test]

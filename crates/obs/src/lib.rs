@@ -13,8 +13,11 @@
 //!   exactly mergeable across shards. This replaces the mutex-guarded
 //!   latency reservoir the serve crate used to carry.
 //! - **Prometheus exposition** ([`PromWriter`]): renders counters, gauges,
-//!   and histogram snapshots as valid text-format exposition for
-//!   `GET /metrics?format=prometheus`.
+//!   labeled samples (with escaped label values), and histogram snapshots as
+//!   valid text-format exposition for `GET /metrics?format=prometheus`.
+//! - **Windowed stream statistics** ([`WindowRing`], [`EntropySketch`],
+//!   [`OverlapSketch`]): the tick-driven, thread-count-deterministic
+//!   primitives behind the serve crate's query-stream adversary detector.
 //!
 //! Determinism contract: nothing in this crate may feed content-addressed
 //! state. Span/timing data stays out of `CorpusFingerprint`, cell keys, and
@@ -39,10 +42,14 @@
 pub mod hist;
 pub mod prom;
 pub mod span;
+pub mod window;
 
 pub use hist::{Histogram, HistogramSnapshot, MAX_RELATIVE_ERROR};
-pub use prom::PromWriter;
+pub use prom::{escape_label, PromWriter};
 pub use span::{
     event, export_chrome_trace, global, install, render_chrome_trace, span, thread_id, Recorder,
     SpanGuard, TraceEvent, DEFAULT_TRACE_CAPACITY,
+};
+pub use window::{
+    hash_str, mix64, EntropySketch, OverlapSketch, WindowRing, ENTROPY_BUCKETS, OVERLAP_K,
 };

@@ -12,6 +12,9 @@ use crate::hist::HistogramSnapshot;
 #[derive(Debug, Default)]
 pub struct PromWriter {
     body: String,
+    /// The metric family the last `# HELP`/`# TYPE` header introduced, so
+    /// labeled samples of one family share a single header.
+    last_family: String,
 }
 
 impl PromWriter {
@@ -31,6 +34,27 @@ impl PromWriter {
         self.header(name, help, "gauge");
         self.body
             .push_str(&format!("{name} {}\n", fmt_value(value)));
+    }
+
+    /// Appends one labeled counter sample. Consecutive samples of the same
+    /// family share one `# HELP`/`# TYPE` header, per the exposition format.
+    /// Label *values* may contain anything (they are escaped); label names
+    /// are the caller's responsibility and must be valid identifiers.
+    pub fn counter_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.family_header(name, help, "counter");
+        self.body
+            .push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+    }
+
+    /// Appends one labeled gauge sample (header sharing as
+    /// [`PromWriter::counter_with`]).
+    pub fn gauge_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.family_header(name, help, "gauge");
+        self.body.push_str(&format!(
+            "{name}{} {}\n",
+            render_labels(labels),
+            fmt_value(value)
+        ));
     }
 
     /// Appends a histogram metric from a snapshot, scaling each bucket upper
@@ -68,7 +92,44 @@ impl PromWriter {
         self.body
             .push_str(&format!("# HELP {name} {}\n", escape_help(help)));
         self.body.push_str(&format!("# TYPE {name} {kind}\n"));
+        self.last_family = name.to_string();
     }
+
+    /// A header emitted at most once per run of same-family samples.
+    fn family_header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.last_family != name {
+            self.header(name, help, kind);
+        }
+    }
+}
+
+/// Renders a `{k="v",…}` label set (empty string for no labels), escaping
+/// each value per the exposition format.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Escapes a label value: backslash, double-quote and newline are the three
+/// characters the text exposition format requires escaping inside quoted
+/// label values. Everything else passes through verbatim.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 fn escape_help(help: &str) -> String {
@@ -102,6 +163,50 @@ mod tests {
         assert!(body.contains("requests_total 42\n"));
         assert!(body.contains("# TYPE lru_entries gauge\n"));
         assert!(body.contains("lru_entries 3\n"));
+    }
+
+    #[test]
+    fn labeled_samples_share_one_header_per_family() {
+        let mut w = PromWriter::new();
+        w.counter_with("verdicts_total", "Verdicts.", &[("verdict", "clear")], 7);
+        w.counter_with(
+            "verdicts_total",
+            "Verdicts.",
+            &[("verdict", "suspicious")],
+            2,
+        );
+        w.gauge_with("score", "Suspicion.", &[("client", "alice")], 0.25);
+        let body = w.finish();
+        assert_eq!(
+            body.matches("# TYPE verdicts_total counter").count(),
+            1,
+            "one TYPE header per family:\n{body}"
+        );
+        assert!(body.contains("verdicts_total{verdict=\"clear\"} 7\n"));
+        assert!(body.contains("verdicts_total{verdict=\"suspicious\"} 2\n"));
+        assert!(body.contains("score{client=\"alice\"} 0.25\n"));
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped() {
+        // Label values are attacker-controlled (client keys); quote,
+        // backslash and newline must never break out of the quoted value.
+        let mut w = PromWriter::new();
+        w.gauge_with(
+            "score",
+            "Suspicion.",
+            &[("client", "eve\"} 1\nevil_total 9\n#\\")],
+            1.0,
+        );
+        let body = w.finish();
+        assert!(
+            body.contains("score{client=\"eve\\\"} 1\\nevil_total 9\\n#\\\\\"} 1\n"),
+            "escaped sample missing in:\n{body}"
+        );
+        // The raw injection must not have produced a new series line.
+        assert!(!body.contains("\nevil_total 9\n"));
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct Request {
     pub path: String,
     /// Body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// The peer's IP address, when the transport knows it (`None` for
+    /// requests parsed outside a live connection, e.g. in tests). The
+    /// detection layer uses it as the fallback client key.
+    pub peer: Option<String>,
 }
 
 impl Request {
@@ -96,6 +100,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         _ => "",
     }
@@ -184,7 +189,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         ));
     }
     body.truncate(content_length);
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        peer: None,
+    })
 }
 
 /// Writes `response` to `stream` with `Connection: close` semantics.
@@ -290,7 +300,8 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Handler) {
         let _ = stream.set_read_timeout(Some(CONNECTION_TIMEOUT));
         let _ = stream.set_write_timeout(Some(CONNECTION_TIMEOUT));
         let response = match read_request(&mut stream) {
-            Ok(request) => {
+            Ok(mut request) => {
+                request.peer = stream.peer_addr().ok().map(|a| a.ip().to_string());
                 // Backstop only: a well-behaved handler (the attack server)
                 // catches its own panics so they enter its metrics; anything
                 // that still unwinds to here answers 500 and the worker

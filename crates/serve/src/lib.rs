@@ -37,11 +37,16 @@
 //! server.wait(); // foreground until shutdown
 //! ```
 
+pub mod detect;
 pub mod http;
 pub mod lru;
 pub mod metrics;
 pub mod server;
 
+pub use detect::{
+    deceive_response, Action, Countermeasure, Decision, DetectConfig, DetectionSnapshot, Detector,
+    Observation, WindowScore,
+};
 pub use http::{Request, Response};
 pub use lru::{LruCounters, ModelLru};
 pub use metrics::{EndpointLatencies, LatencySnapshot, Metrics, MetricsSnapshot};

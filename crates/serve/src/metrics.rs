@@ -14,16 +14,18 @@
 //! reported separately, so cheap probes can no longer dilute the p50/p99 the
 //! service is judged by.
 
+use crate::detect::DetectionSnapshot;
 use crate::lru::LruCounters;
 use deepsplit_core::store::StoreCounters;
 use deepsplit_obs::{Histogram, HistogramSnapshot, PromWriter};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Live counters of one server process.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
+    started: Instant,
     requests_total: AtomicUsize,
     model_gets: AtomicUsize,
     model_puts: AtomicUsize,
@@ -36,6 +38,26 @@ pub struct Metrics {
     latency_model_put: Histogram,
     latency_attack: Histogram,
     latency_other: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            requests_total: AtomicUsize::new(0),
+            model_gets: AtomicUsize::new(0),
+            model_puts: AtomicUsize::new(0),
+            attacks: AtomicUsize::new(0),
+            attacks_coalesced: AtomicUsize::new(0),
+            models_trained: AtomicUsize::new(0),
+            epochs_trained: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+            latency_model_get: Histogram::new(),
+            latency_model_put: Histogram::new(),
+            latency_attack: Histogram::new(),
+            latency_other: Histogram::new(),
+        }
+    }
 }
 
 /// Latency percentiles of one endpoint class (or the merged headline), in
@@ -110,6 +132,11 @@ pub struct MetricsSnapshot {
     pub latency: LatencySnapshot,
     /// The per-endpoint breakdown behind the headline `latency`.
     pub endpoints: EndpointLatencies,
+    /// Seconds this server process has been up.
+    pub uptime_seconds: f64,
+    /// The query-stream adversary detector's read-out (all zeros with
+    /// `enabled: false` when the detector is off).
+    pub detection: DetectionSnapshot,
 }
 
 impl Metrics {
@@ -165,8 +192,14 @@ impl Metrics {
         self.epochs_trained.fetch_add(epochs, Ordering::Relaxed);
     }
 
-    /// A coherent snapshot, folding in the store and LRU counters.
-    pub fn snapshot(&self, store: StoreCounters, lru: LruCounters) -> MetricsSnapshot {
+    /// A coherent snapshot, folding in the store, LRU, and detection
+    /// counters.
+    pub fn snapshot(
+        &self,
+        store: StoreCounters,
+        lru: LruCounters,
+        detection: DetectionSnapshot,
+    ) -> MetricsSnapshot {
         let model_get = self.latency_model_get.snapshot();
         let model_put = self.latency_model_put.snapshot();
         let attack = self.latency_attack.snapshot();
@@ -193,13 +226,32 @@ impl Metrics {
                 attack: LatencySnapshot::from_hist(&attack),
                 other: LatencySnapshot::from_hist(&other),
             },
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+            detection,
         }
     }
 
     /// Prometheus text exposition of every metric, with full bucket data for
-    /// the per-endpoint latency histograms (seconds, per convention).
-    pub fn prometheus(&self, store: StoreCounters, lru: LruCounters) -> String {
+    /// the per-endpoint latency histograms (seconds, per convention) and the
+    /// detection surface (verdict counters, countermeasure counters, and a
+    /// per-flagged-client score gauge with escaped label values).
+    pub fn prometheus(
+        &self,
+        store: StoreCounters,
+        lru: LruCounters,
+        detection: &DetectionSnapshot,
+    ) -> String {
         let mut w = PromWriter::new();
+        w.gauge(
+            "deepsplit_up",
+            "Whether this server process is up (always 1 while scrapeable).",
+            1.0,
+        );
+        w.gauge(
+            "deepsplit_uptime_seconds",
+            "Seconds since this server process started.",
+            self.started.elapsed().as_secs_f64(),
+        );
         w.counter(
             "deepsplit_requests_total",
             "Requests handled (any endpoint, any outcome).",
@@ -289,6 +341,68 @@ impl Metrics {
                 1e-6,
             );
         }
+        w.gauge(
+            "deepsplit_detection_enabled",
+            "Whether the query-stream adversary detector is on.",
+            if detection.enabled { 1.0 } else { 0.0 },
+        );
+        w.gauge(
+            "deepsplit_detection_clients",
+            "Clients the detector currently tracks.",
+            detection.clients_tracked as f64,
+        );
+        w.gauge(
+            "deepsplit_detection_flagged_clients",
+            "Clients currently flagged as adversarial.",
+            detection.flagged_clients as f64,
+        );
+        w.gauge(
+            "deepsplit_detection_max_score",
+            "Highest latest-window suspicion score over all tracked clients.",
+            detection.max_score,
+        );
+        w.counter(
+            "deepsplit_detection_observed_total",
+            "Attack-endpoint arrivals the detector has modelled.",
+            detection.observed_queries as u64,
+        );
+        w.counter(
+            "deepsplit_detection_windows_total",
+            "Client windows closed and scored.",
+            detection.windows_scored as u64,
+        );
+        w.counter(
+            "deepsplit_detection_suspicious_windows_total",
+            "Scored windows at or above the flag threshold.",
+            detection.windows_suspicious as u64,
+        );
+        w.counter(
+            "deepsplit_detection_flags_total",
+            "Flag-raising transitions.",
+            detection.flags_raised as u64,
+        );
+        w.counter_with(
+            "deepsplit_detection_countermeasures_total",
+            "Countermeasures applied to flagged clients' requests.",
+            &[("action", "rate_limit")],
+            detection.rate_limited as u64,
+        );
+        w.counter_with(
+            "deepsplit_detection_countermeasures_total",
+            "Countermeasures applied to flagged clients' requests.",
+            &[("action", "deceive")],
+            detection.deceived as u64,
+        );
+        for f in &detection.flagged {
+            // Client keys are adversary-influenced; gauge_with escapes the
+            // label value, so a hostile name cannot break out of the quotes.
+            w.gauge_with(
+                "deepsplit_detection_score",
+                "Latest suspicion score of each currently flagged client.",
+                &[("client", &f.client)],
+                f.score,
+            );
+        }
         w.finish()
     }
 }
@@ -340,7 +454,11 @@ mod tests {
         m.record_request(Endpoint::Other, 404, Duration::from_millis(1));
         m.record_coalesced();
         m.record_training(12);
-        let s = m.snapshot(StoreCounters::default(), LruCounters::default());
+        let s = m.snapshot(
+            StoreCounters::default(),
+            LruCounters::default(),
+            DetectionSnapshot::default(),
+        );
         assert_eq!(s.requests_total, 3);
         assert_eq!(s.model_gets, 1);
         assert_eq!(s.attacks, 1);
@@ -373,7 +491,11 @@ mod tests {
         for _ in 0..1000 {
             m.record_request(Endpoint::Other, 200, Duration::from_micros(50));
         }
-        let s = m.snapshot(StoreCounters::default(), LruCounters::default());
+        let s = m.snapshot(
+            StoreCounters::default(),
+            LruCounters::default(),
+            DetectionSnapshot::default(),
+        );
         assert_eq!(s.latency.samples, 10);
         assert!(
             s.latency.p50_ms > 90.0,
@@ -392,7 +514,11 @@ mod tests {
             m.record_request(Endpoint::ModelPut, 204, Duration::from_micros(i * 20));
             m.record_request(Endpoint::Attack, 200, Duration::from_micros(i * 400));
         }
-        let s = m.snapshot(StoreCounters::default(), LruCounters::default());
+        let s = m.snapshot(
+            StoreCounters::default(),
+            LruCounters::default(),
+            DetectionSnapshot::default(),
+        );
         assert_eq!(
             s.latency.samples,
             s.endpoints.model_get.samples
@@ -409,7 +535,11 @@ mod tests {
         let m = Metrics::new();
         m.record_request(Endpoint::Attack, 200, Duration::from_millis(5));
         m.record_request(Endpoint::Other, 200, Duration::from_micros(80));
-        let body = m.prometheus(StoreCounters::default(), LruCounters::default());
+        let body = m.prometheus(
+            StoreCounters::default(),
+            LruCounters::default(),
+            &DetectionSnapshot::default(),
+        );
         for series in [
             "deepsplit_requests_total 2",
             "deepsplit_attacks_total 1",
@@ -431,7 +561,11 @@ mod tests {
         for _ in 0..10_000 {
             m.record_request(Endpoint::Attack, 200, Duration::from_micros(5));
         }
-        let s = m.snapshot(StoreCounters::default(), LruCounters::default());
+        let s = m.snapshot(
+            StoreCounters::default(),
+            LruCounters::default(),
+            DetectionSnapshot::default(),
+        );
         assert_eq!(s.latency.samples, 10_000);
     }
 }

@@ -15,7 +15,14 @@
 //! `train_or_load` while the rest wait on a condvar and then read the
 //! deserialized model from the in-process LRU — N simultaneous requests for
 //! a cold cell cost one training run, not N.
+//!
+//! When the query-stream adversary detector is enabled
+//! ([`ServeConfig::detect`]), every `/attack` arrival is admitted through it
+//! first: flagged clients are answered `429` or served deceptively re-noised
+//! rankings, per the configured [`crate::detect::Countermeasure`]. Probe
+//! routes (`/healthz`, `/metrics`) never touch the detector.
 
+use crate::detect::{deceive_response, fingerprint_id, response_ids, Action, Detector};
 use crate::http::{self, Request, Response, Server};
 use crate::lru::ModelLru;
 use crate::metrics::{Endpoint, Metrics, MetricsSnapshot};
@@ -51,6 +58,8 @@ pub struct ServeConfig {
     /// thread-count invariant, so this is purely a scheduling choice; `1`
     /// keeps concurrent requests from oversubscribing the worker pool.
     pub inference_threads: usize,
+    /// Query-stream adversary detection (disabled by default).
+    pub detect: crate::detect::DetectConfig,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +69,7 @@ impl Default for ServeConfig {
             threads: 4,
             lru_capacity: 16,
             inference_threads: 1,
+            detect: crate::detect::DetectConfig::default(),
         }
     }
 }
@@ -130,6 +140,9 @@ pub struct AttackServer {
     /// entry per distinct evaluation protocol actually queried.
     bases: Mutex<HashMap<CorpusFingerprint, Arc<EvalBase>>>,
     inference_threads: usize,
+    detect: Detector,
+    /// Monotonic origin of the detector's tick axis.
+    started: Instant,
 }
 
 impl AttackServer {
@@ -142,13 +155,23 @@ impl AttackServer {
             inflight: Inflight::default(),
             bases: Mutex::new(HashMap::new()),
             inference_threads: config.inference_threads.max(1),
+            detect: Detector::new(config.detect.clone()),
+            started: Instant::now(),
         }
     }
 
     /// A coherent metrics read-out (also what `GET /metrics` serves).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics
-            .snapshot(self.store.counters(), self.lru.counters())
+        self.metrics.snapshot(
+            self.store.counters(),
+            self.lru.counters(),
+            self.detect.snapshot(),
+        )
+    }
+
+    /// The query-stream adversary detector (for assertions and reporting).
+    pub fn detector(&self) -> &Detector {
+        &self.detect
     }
 
     /// Routes one request. Panics inside a route (a broken store disk, a
@@ -210,8 +233,11 @@ impl AttackServer {
         if query.split('&').any(|kv| kv == "format=prometheus") {
             return Response::text(
                 200,
-                self.metrics
-                    .prometheus(self.store.counters(), self.lru.counters()),
+                self.metrics.prometheus(
+                    self.store.counters(),
+                    self.lru.counters(),
+                    &self.detect.snapshot(),
+                ),
             );
         }
         match serde_json::to_string_pretty(&self.metrics_snapshot()) {
@@ -261,7 +287,33 @@ impl AttackServer {
         let Some(victim_bench) = spec.victim() else {
             return Response::error(400, format!("unknown benchmark `{}`", spec.benchmark));
         };
-        let response = self.evaluate(&spec, victim_bench);
+        // Admit through the detector before paying for evaluation. A
+        // rate-limited arrival still feeds the client's window (churn and
+        // burstiness), which is what keeps a hammering client flagged.
+        let fp = spec.fingerprint();
+        let client = client_key(&spec, req);
+        let tick_us = self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let fp_id = fingerprint_id(&fp.to_hex());
+        let decision = self.detect.admit(&client, tick_us, fp_id);
+        if let Some(window) = &decision.closed {
+            obs::event("serve.detect.score", Some(window.score));
+        }
+        if decision.action == Action::RateLimit {
+            obs::event("serve.detect.rate_limited", None);
+            return Response::error(
+                429,
+                format!("client `{client}` is rate limited by the adversary detector"),
+            );
+        }
+        let mut response = self.evaluate(&spec, victim_bench, fp);
+        if decision.action == Action::Deceive {
+            // Salted per (client, model): stable under repetition, different
+            // across clients and specs.
+            deceive_response(&mut response, deepsplit_obs::hash_str(&client) ^ fp_id);
+            obs::event("serve.detect.deceived", None);
+        }
+        let (candidates, sinks) = response_ids(&response);
+        self.detect.enrich(&client, &candidates, &sinks);
         match serde_json::to_string_pretty(&response) {
             Ok(json) => Response::json(200, json),
             Err(e) => Response::error(500, format!("serialise attack response: {e}")),
@@ -269,10 +321,14 @@ impl AttackServer {
     }
 
     /// The full evaluation pipeline of one validated request.
-    fn evaluate(&self, spec: &AttackRequest, victim_bench: Benchmark) -> AttackResponse {
+    fn evaluate(
+        &self,
+        spec: &AttackRequest,
+        victim_bench: Benchmark,
+        fp: CorpusFingerprint,
+    ) -> AttackResponse {
         let _request_span = obs::span("serve.attack");
         let layer = spec.layer();
-        let fp = spec.fingerprint();
         let base = self.base_of(victim_bench, &spec.eval);
         let resolve_started = Instant::now();
         let resolved = {
@@ -393,6 +449,24 @@ impl AttackServer {
         let mut bases = lock_or_recover(&self.bases);
         Arc::clone(bases.entry(key).or_insert(built))
     }
+}
+
+/// The detection key of one `/attack` request: the self-reported client id
+/// (sanitised to printable ASCII, length-capped so a hostile id cannot bloat
+/// labels or state), else the transport peer IP, else a shared bucket.
+fn client_key(spec: &AttackRequest, req: &Request) -> String {
+    if let Some(raw) = &spec.client {
+        let cleaned: String = raw
+            .chars()
+            .filter(|c| c.is_ascii_graphic() || *c == ' ')
+            .take(64)
+            .collect();
+        let trimmed = cleaned.trim();
+        if !trimmed.is_empty() {
+            return trimmed.to_string();
+        }
+    }
+    req.peer.clone().unwrap_or_else(|| "anon".to_string())
 }
 
 /// Content address of everything that shapes an [`EvalBase`]: the benchmark
@@ -547,6 +621,7 @@ mod tests {
             method: "PUT".to_string(),
             path: format!("/models/{}", conformance::key(1).to_hex()),
             body,
+            peer: None,
         });
         assert_eq!(response.status, 500);
         let snapshot = server.metrics_snapshot();
@@ -590,6 +665,7 @@ mod tests {
             method: method.to_string(),
             path: path.to_string(),
             body: Vec::new(),
+            peer: None,
         };
         assert_eq!(server.handle(&req("GET", "/healthz")).status, 200);
         assert_eq!(server.handle(&req("GET", "/nope")).status, 404);

@@ -25,6 +25,7 @@ fn test_server() -> RunningServer {
         threads: 3,
         lru_capacity: 4,
         inference_threads: 1,
+        ..ServeConfig::default()
     };
     start(&config, Arc::new(MemoryModelStore::new())).expect("bind ephemeral port")
 }
